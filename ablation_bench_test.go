@@ -1,0 +1,243 @@
+package repro
+
+// Ablation benchmarks for the design choices the paper discusses but does
+// not plot: chunk-pipeline depth (multi-stage transfer, §III-C), blocking
+// size (§V-B's "overly fine-grained decomposition" warning), the NVM
+// staging level (§VI "Northup for HPC"), layout-transforming moves
+// (§VI "Data Layout"), and profile-guided chunk placement (§III-E).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps/gemm"
+	"repro/internal/apps/hotspot"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func phantomOpts() core.Options {
+	o := core.DefaultOptions()
+	o.Phantom = true
+	return o
+}
+
+// BenchmarkAblationPipelineDepth sweeps the chunk-pipeline depth for
+// out-of-core GEMM on the SSD tree: depth 1 serializes loads behind
+// compute; deeper pipelines overlap them (the §III-C multi-stage transfer).
+// Metric: virtual seconds per depth.
+func BenchmarkAblationPipelineDepth(b *testing.B) {
+	cases := []struct {
+		name       string
+		depth      int
+		sequential bool
+	}{
+		{"sequential", 1, true},
+		{"depth-1", 1, false},
+		{"depth-2", 2, false},
+		{"depth-4", 4, false},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var elapsed sim.Time
+			for i := 0; i < b.N; i++ {
+				e := sim.NewEngine()
+				tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD,
+					StorageMiB: 24576, DRAMMiB: 2048})
+				rt := core.NewRuntime(e, tree, phantomOpts())
+				res, err := gemm.RunNorthup(rt, gemm.Config{
+					N: 16384, ShardDim: 4096, Depth: c.depth, Sequential: c.sequential})
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed = res.Stats.Elapsed
+			}
+			b.ReportMetric(elapsed.Seconds(), "virtual-s")
+		})
+	}
+}
+
+// BenchmarkAblationBlockingSize sweeps the stencil chunk size at fixed
+// input: small chunks multiply runtime calls and kernel launches (the
+// low-utilization regime §V-B warns about), large chunks bound pipeline
+// overlap. Metrics: virtual seconds and runtime-overhead share.
+func BenchmarkAblationBlockingSize(b *testing.B) {
+	for _, chunk := range []int{8192, 4096, 2048, 1024} {
+		b.Run(fmt.Sprintf("chunk-%d", chunk), func(b *testing.B) {
+			var elapsed sim.Time
+			var overhead float64
+			for i := 0; i < b.N; i++ {
+				e := sim.NewEngine()
+				tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD,
+					StorageMiB: 24576, DRAMMiB: 2048})
+				rt := core.NewRuntime(e, tree, phantomOpts())
+				res, err := hotspot.RunNorthup(rt, hotspot.Config{
+					N: 16384, ChunkDim: chunk, Iters: 60})
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed = res.Stats.Elapsed
+				overhead = res.Stats.Breakdown.FractionOfTotal(trace.Runtime)
+			}
+			b.ReportMetric(elapsed.Seconds(), "virtual-s")
+			b.ReportMetric(overhead, "runtime-share")
+		})
+	}
+}
+
+// BenchmarkAblationNVMStaging compares out-of-core GEMM on a disk-rooted
+// machine (the regime where storage re-reads hurt most) across three
+// hierarchies: the plain 2-level tree, the §VI 3-level tree with an NVM
+// middle level, and the same with B resident in NVM. Metric: virtual
+// seconds.
+func BenchmarkAblationNVMStaging(b *testing.B) {
+	const n = 16384
+	cfg := gemm.Config{N: n, ShardDim: 4096}
+	cases := []struct {
+		name  string
+		build func(e *sim.Engine) *topo.Tree
+		stage bool
+	}{
+		{"2level-hdd", func(e *sim.Engine) *topo.Tree {
+			return topo.APU(e, topo.APUConfig{Storage: topo.HDD,
+				StorageMiB: 24576, DRAMMiB: 2048})
+		}, false},
+		{"3level-nvm", func(e *sim.Engine) *topo.Tree {
+			return topo.APUWithNVM(e, topo.NVMConfig{Storage: topo.HDD,
+				StorageMiB: 24576, NVMMiB: 8192, DRAMMiB: 2048})
+		}, false},
+		{"3level-nvm-stageB", func(e *sim.Engine) *topo.Tree {
+			return topo.APUWithNVM(e, topo.NVMConfig{Storage: topo.HDD,
+				StorageMiB: 24576, NVMMiB: 8192, DRAMMiB: 2048})
+		}, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var elapsed sim.Time
+			for i := 0; i < b.N; i++ {
+				e := sim.NewEngine()
+				rt := core.NewRuntime(e, c.build(e), phantomOpts())
+				run := cfg
+				run.StageB = c.stage
+				if c.name == "3level-nvm" || c.stage {
+					// The NVM level stages shards; DRAM takes k-panels.
+					run.ShardDim = 4096
+				}
+				res, err := gemm.RunNorthup(rt, run)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed = res.Stats.Elapsed
+			}
+			b.ReportMetric(elapsed.Seconds(), "virtual-s")
+		})
+	}
+}
+
+// BenchmarkAblationLayoutTransform quantifies §VI's data-layout claim:
+// accessing a column of a row-major matrix repeatedly is a strided gather
+// each time; transforming the layout once costs an extra pass but makes
+// every subsequent access contiguous. The crossover appears as reuse grows.
+// Metric: virtual microseconds per configuration.
+func BenchmarkAblationLayoutTransform(b *testing.B) {
+	const rows, cols = 2048, 2048
+	const colBytes = rows * 4
+	for _, reuse := range []int{1, 4, 16} {
+		for _, transform := range []bool{false, true} {
+			name := fmt.Sprintf("reuse-%d/strided", reuse)
+			if transform {
+				name = fmt.Sprintf("reuse-%d/transformed", reuse)
+			}
+			b.Run(name, func(b *testing.B) {
+				var elapsed sim.Time
+				for i := 0; i < b.N; i++ {
+					e := sim.NewEngine()
+					tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD,
+						StorageMiB: 256, DRAMMiB: 128})
+					rt := core.NewRuntime(e, tree, phantomOpts())
+					dram := tree.Node(1)
+					_, err := rt.Run("layout", func(c *core.Ctx) error {
+						m, err := c.AllocAt(dram, rows*cols*4)
+						if err != nil {
+							return err
+						}
+						vec, err := c.AllocAt(dram, colBytes)
+						if err != nil {
+							return err
+						}
+						var mT *core.Buffer
+						if transform {
+							if mT, err = c.AllocAt(dram, rows*cols*4); err != nil {
+								return err
+							}
+							if err := c.MoveDataTransposeF32(mT, m, 0, 0, rows, cols); err != nil {
+								return err
+							}
+						}
+						for r := 0; r < reuse; r++ {
+							col := (r * 37) % cols
+							if transform {
+								// Column col is now a contiguous run.
+								if err := c.MoveData(vec, mT, 0, int64(col)*colBytes, colBytes); err != nil {
+									return err
+								}
+							} else {
+								// Strided gather: one row element at a time.
+								if err := c.MoveData2D(vec, m, 0, 4, int64(col)*4, cols*4, rows, 4); err != nil {
+									return err
+								}
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					elapsed = e.Now()
+				}
+				b.ReportMetric(elapsed.Seconds()*1e6, "virtual-us")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationProfiledMapping compares §III-E's profile-guided chunk
+// placement against fixed GPU placement for the stencil: the profiler pays
+// a small exploration cost, then matches the fixed-best choice. Metric:
+// virtual seconds.
+func BenchmarkAblationProfiledMapping(b *testing.B) {
+	cfg := hotspot.Config{N: 16384, ChunkDim: 4096, Iters: 60}
+	newRT := func() *core.Runtime {
+		e := sim.NewEngine()
+		tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD,
+			StorageMiB: 24576, DRAMMiB: 2048, WithCPU: true})
+		return core.NewRuntime(e, tree, phantomOpts())
+	}
+	b.Run("fixed-gpu", func(b *testing.B) {
+		var elapsed sim.Time
+		for i := 0; i < b.N; i++ {
+			res, err := hotspot.RunNorthup(newRT(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			elapsed = res.Stats.Elapsed
+		}
+		b.ReportMetric(elapsed.Seconds(), "virtual-s")
+	})
+	b.Run("profiled", func(b *testing.B) {
+		var elapsed sim.Time
+		var onCPU int
+		for i := 0; i < b.N; i++ {
+			res, err := hotspot.RunProfiled(newRT(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			elapsed = res.Stats.Elapsed
+			onCPU = res.ChunksOnCPU
+		}
+		b.ReportMetric(elapsed.Seconds(), "virtual-s")
+		b.ReportMetric(float64(onCPU), "chunks-on-cpu")
+	})
+}

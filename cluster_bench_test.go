@@ -1,0 +1,46 @@
+package repro
+
+// Benchmark for the distributed-systems prototype (§VII future work):
+// strong scaling of a 1-D decomposed GEMM across simulated machines.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// BenchmarkDistributedGEMMScaling sweeps the machine count for a 16k
+// multiply: compute shrinks with machines while B's broadcast grows, and
+// the fabric (5 GB/s, below the NVM profile) bounds the useful cluster
+// size. Metrics: total, compute and distribution virtual seconds.
+func BenchmarkDistributedGEMMScaling(b *testing.B) {
+	for _, machines := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("machines-%d", machines), func(b *testing.B) {
+			var res *cluster.GEMMResult
+			for i := 0; i < b.N; i++ {
+				e := sim.NewEngine()
+				opts := core.DefaultOptions()
+				opts.Phantom = true
+				cl, err := cluster.New(e, machines, cluster.DefaultFabric(), opts,
+					func(e *sim.Engine, i int) *topo.Tree {
+						return topo.APU(e, topo.APUConfig{Storage: topo.SSD,
+							StorageMiB: 24576, DRAMMiB: 2048})
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = cluster.DistributedGEMM(cl, cluster.GEMMConfig{N: 16384})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Elapsed.Seconds(), "total-s")
+			b.ReportMetric(res.ComputeTime.Seconds(), "compute-s")
+			b.ReportMetric(res.DistributionTime.Seconds(), "distribute-s")
+		})
+	}
+}

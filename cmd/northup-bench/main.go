@@ -1,0 +1,73 @@
+// Command northup-bench regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	northup-bench [-fig 6|7|8|8disk|9|11|overhead|all] [-scale 1|2|4|8]
+//
+// Each figure driver runs the real runtime and applications in phantom
+// (timing-only) mode at the paper's input sizes and prints the rows/series
+// the corresponding figure plots. -scale shrinks every dimension coherently
+// for quick looks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 8disk, 9, 11, overhead, all")
+	scale := flag.Int("scale", 1, "divide the paper's input dimensions (1, 2, 4, 8)")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+
+	o := figures.Options{Scale: *scale}
+	run := func(name string, fn func() (figures.Renderer, error)) {
+		start := time.Now()
+		res, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "northup-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			fmt.Print(res.CSV())
+			return
+		}
+		fmt.Println(res)
+		fmt.Printf("(%s regenerated in %.1fs wall time)\n\n", name, time.Since(start).Seconds())
+	}
+
+	known := map[string]bool{"all": true, "6": true, "7": true, "8": true,
+		"8disk": true, "9": true, "11": true, "overhead": true}
+	if !known[*fig] {
+		fmt.Fprintf(os.Stderr, "northup-bench: unknown figure %q (want 6, 7, 8, 8disk, 9, 11, overhead, all)\n", *fig)
+		os.Exit(2)
+	}
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("6") {
+		run("figure 6", func() (figures.Renderer, error) { return figures.Fig6(o) })
+	}
+	if want("7") {
+		run("figure 7", func() (figures.Renderer, error) { return figures.Fig7(o) })
+	}
+	if want("8") {
+		run("figure 8", func() (figures.Renderer, error) { return figures.Fig8(o) })
+	}
+	if want("8disk") {
+		run("figure 8 (disk-root variant)", func() (figures.Renderer, error) { return figures.Fig8Disk(o) })
+	}
+	if want("9") {
+		run("figure 9", func() (figures.Renderer, error) { return figures.Fig9(o) })
+	}
+	if want("11") {
+		run("figure 11", func() (figures.Renderer, error) { return figures.Fig11(o) })
+	}
+	if want("overhead") {
+		run("runtime overhead (§V-B)", func() (figures.Renderer, error) { return figures.Overhead(o) })
+	}
+}

@@ -1,0 +1,130 @@
+// Command northup-run executes one of the paper's applications on a chosen
+// topology and reports timing and the execution breakdown.
+//
+// Usage:
+//
+//	northup-run -app gemm|hotspot|spmv [-preset apu|apu-hdd|discrete|nvm|inmemory]
+//	            [-spec file.json] [-n N] [-chunk D] [-iters K] [-phantom]
+//
+// Functional mode (the default) computes and verifies real results, so keep
+// -n modest; -phantom charges identical virtual time with no payloads and
+// handles paper-scale inputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/northup"
+)
+
+func main() {
+	app := flag.String("app", "gemm", "application: gemm, hotspot, spmv")
+	preset := flag.String("preset", "apu", "topology: apu, apu-hdd, discrete, nvm, inmemory")
+	specPath := flag.String("spec", "", "JSON topology spec file (overrides -preset)")
+	n := flag.Int("n", 1024, "problem dimension (matrix/grid dim, or sparse rows)")
+	chunk := flag.Int("chunk", 0, "chunk/shard dimension (0 = derive from capacity)")
+	iters := flag.Int("iters", 8, "stencil iterations per pass (hotspot)")
+	avgNNZ := flag.Int("nnz", 16, "average non-zeros per row (spmv)")
+	phantom := flag.Bool("phantom", false, "timing-only mode (no payloads; paper-scale capable)")
+	storageMiB := flag.Int64("storage-mib", 1024, "preset storage capacity")
+	dramMiB := flag.Int64("dram-mib", 16, "preset staging capacity")
+	flag.Parse()
+
+	e := northup.NewEngine()
+	tree, err := buildTree(e, *preset, *specPath, *storageMiB, *dramMiB)
+	if err != nil {
+		fatal(err)
+	}
+	opts := northup.DefaultOptions()
+	opts.Phantom = *phantom
+	rt := northup.NewRuntime(e, tree, opts)
+
+	fmt.Printf("topology:\n%s\n", tree)
+
+	var stats northup.RunStats
+	switch *app {
+	case "gemm":
+		var res *northup.GEMMResult
+		if *preset == "inmemory" && *specPath == "" {
+			res, err = northup.GEMMInMemory(rt, northup.GEMMConfig{N: *n, Seed: 1})
+		} else {
+			res, err = northup.GEMMNorthup(rt, northup.GEMMConfig{N: *n, Seed: 1, ShardDim: *chunk})
+		}
+		if err != nil {
+			fatal(err)
+		}
+		stats = res.Stats
+		fmt.Printf("gemm: N=%d shard=%d\n", *n, res.ShardDim)
+	case "hotspot":
+		cfg := northup.HotSpotConfig{N: *n, Seed: 1, ChunkDim: *chunk, Iters: *iters}
+		var res *northup.HotSpotResult
+		if *preset == "inmemory" && *specPath == "" {
+			res, err = northup.HotSpotInMemory(rt, cfg)
+		} else {
+			res, err = northup.HotSpotNorthup(rt, cfg)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		stats = res.Stats
+		fmt.Printf("hotspot: N=%d chunk=%d iters=%d\n", *n, res.ChunkDim, *iters)
+	case "spmv":
+		cfg := northup.SpMVConfig{N: *n, AvgNNZ: *avgNNZ, Kind: northup.SparseUniform, Seed: 1}
+		var res *northup.SpMVResult
+		if *preset == "inmemory" && *specPath == "" {
+			res, err = northup.SpMVInMemory(rt, cfg)
+		} else {
+			res, err = northup.SpMVNorthup(rt, cfg)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		stats = res.Stats
+		fmt.Printf("spmv: rows=%d nnz/row~%d shards=%d splits=%d\n",
+			*n, *avgNNZ, res.Shards, res.Splits)
+	default:
+		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+
+	fmt.Printf("\nsimulated execution: %v\n", stats.Elapsed)
+	fmt.Print(stats.Breakdown.Report())
+}
+
+func buildTree(e *northup.Engine, preset, specPath string, storageMiB, dramMiB int64) (*northup.Tree, error) {
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := northup.ParseSpec(data)
+		if err != nil {
+			return nil, err
+		}
+		return northup.BuildSpec(e, spec)
+	}
+	switch preset {
+	case "apu":
+		return northup.APU(e, northup.APUConfig{Storage: northup.SSD,
+			StorageMiB: storageMiB, DRAMMiB: dramMiB, WithCPU: true}), nil
+	case "apu-hdd":
+		return northup.APU(e, northup.APUConfig{Storage: northup.HDD,
+			StorageMiB: storageMiB, DRAMMiB: dramMiB, WithCPU: true}), nil
+	case "discrete":
+		return northup.Discrete(e, northup.DiscreteConfig{Storage: northup.SSD,
+			StorageMiB: storageMiB, DRAMMiB: dramMiB * 2, GPUMemMiB: dramMiB}), nil
+	case "nvm":
+		return northup.APUWithNVM(e, northup.NVMConfig{Storage: northup.HDD,
+			StorageMiB: storageMiB, NVMMiB: dramMiB * 8, DRAMMiB: dramMiB, WithCPU: true}), nil
+	case "inmemory":
+		return northup.InMemory(e, storageMiB), nil
+	default:
+		return nil, fmt.Errorf("unknown preset %q", preset)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "northup-run:", err)
+	os.Exit(1)
+}

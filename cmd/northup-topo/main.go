@@ -1,0 +1,69 @@
+// Command northup-topo inspects Northup topologies: it prints the tree
+// outline (the runtime's "output the topology" facility, §III-E) and,
+// optionally, Graphviz dot for a Figure 2-style drawing.
+//
+// Usage:
+//
+//	northup-topo -preset apu|apu-hdd|discrete|inmemory [-dot]
+//	northup-topo -spec topology.json [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/northup"
+)
+
+func main() {
+	preset := flag.String("preset", "", "built-in topology: apu, apu-hdd, discrete, inmemory")
+	specPath := flag.String("spec", "", "JSON topology spec file")
+	dot := flag.Bool("dot", false, "emit Graphviz dot instead of the outline")
+	flag.Parse()
+
+	e := northup.NewEngine()
+	var tree *northup.Tree
+	var err error
+	switch {
+	case *specPath != "":
+		data, rerr := os.ReadFile(*specPath)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		spec, perr := northup.ParseSpec(data)
+		if perr != nil {
+			fatal(perr)
+		}
+		tree, err = northup.BuildSpec(e, spec)
+	case *preset == "apu":
+		tree = northup.APU(e, northup.APUConfig{Storage: northup.SSD,
+			StorageMiB: 24576, DRAMMiB: 2048, WithCPU: true})
+	case *preset == "apu-hdd":
+		tree = northup.APU(e, northup.APUConfig{Storage: northup.HDD,
+			StorageMiB: 24576, DRAMMiB: 2048, WithCPU: true})
+	case *preset == "discrete":
+		tree = northup.Discrete(e, northup.DiscreteConfig{Storage: northup.SSD,
+			StorageMiB: 24576, DRAMMiB: 2048, GPUMemMiB: 16384})
+	case *preset == "inmemory":
+		tree = northup.InMemory(e, 16384)
+	default:
+		fmt.Fprintln(os.Stderr, "northup-topo: pass -preset or -spec (see -h)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *dot {
+		fmt.Print(tree.DOT())
+		return
+	}
+	fmt.Print(tree.String())
+	fmt.Printf("levels: %d, nodes: %d, leaves: %d\n",
+		tree.Levels(), tree.NumNodes(), len(tree.Leaves()))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "northup-topo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Shuai Che, Jieming Yin. "Northup: Divide-and-Conquer Programming in
+//	Systems with Heterogeneous Memories and Processors." IPPS 2019.
+//
+// The public programming API lives in repro/northup; the benchmark harness
+// in this directory (bench_test.go) regenerates every figure of the paper's
+// evaluation. See README.md for a tour, DESIGN.md for the system inventory
+// and hardware-substitution decisions, and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package repro

@@ -1,0 +1,72 @@
+// Out-of-core dense matrix multiply (paper §IV-A) on two topologies.
+//
+// The same application code runs unchanged on the 2-level APU tree and the
+// 3-level discrete-GPU tree — the portability claim at the heart of the
+// paper. Results are verified against a host reference, and the execution
+// breakdowns show where time goes on each machine.
+//
+//	go run ./examples/outofcore-gemm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/northup"
+)
+
+const n = 512
+
+func main() {
+	cfg := northup.GEMMConfig{N: n, Seed: 7}
+
+	// Host oracle for verification.
+	a := northup.DenseInput(n, n, cfg.Seed)
+	b := northup.DenseInput(n, n, cfg.Seed+1)
+	want := make([]float32, n*n)
+	northup.GEMMReference(want, a, b, n, n, n)
+
+	// Machine 1: APU with a staging buffer 1/8th of the working set.
+	e1 := northup.NewEngine()
+	apu := northup.APU(e1, northup.APUConfig{
+		Storage: northup.SSD, StorageMiB: 64, DRAMMiB: 1,
+	})
+	rt1 := northup.NewRuntime(e1, apu, northup.DefaultOptions())
+	res1, err := northup.GEMMNorthup(rt1, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("2-level APU tree", res1, want)
+
+	// Machine 2: host + discrete GPU, an extra device-memory level.
+	// Identical application code; only the topology changed.
+	e2 := northup.NewEngine()
+	discrete := northup.Discrete(e2, northup.DiscreteConfig{
+		Storage: northup.SSD, StorageMiB: 64, DRAMMiB: 2, GPUMemMiB: 1,
+	})
+	rt2 := northup.NewRuntime(e2, discrete, northup.DefaultOptions())
+	res2, err := northup.GEMMNorthup(rt2, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("3-level discrete-GPU tree", res2, want)
+}
+
+func report(name string, res *northup.GEMMResult, want []float32) {
+	var maxErr float64
+	for i := range want {
+		d := float64(res.C[i] - want[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("== %s ==\n", name)
+	fmt.Printf("shard: %dx%d, verified vs reference (max |err| = %.2g)\n",
+		res.ShardDim, n, maxErr)
+	fmt.Printf("simulated time: %v\n", res.Stats.Elapsed)
+	fmt.Print(res.Stats.Breakdown.Report())
+	fmt.Println()
+}

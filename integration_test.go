@@ -1,0 +1,139 @@
+package repro
+
+// Cross-cutting integration tests: whole-repository properties that no
+// single package can check alone.
+
+import (
+	"testing"
+
+	"repro/internal/apps/gemm"
+	"repro/internal/apps/hotspot"
+	"repro/internal/apps/spmv"
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// TestAllAppsShareOneRuntime runs the three applications back to back on a
+// single runtime and tree, verifying results and that every byte of memory
+// (beyond the persistent input/output files) is returned between apps.
+func TestAllAppsShareOneRuntime(t *testing.T) {
+	e := sim.NewEngine()
+	tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD, StorageMiB: 64,
+		DRAMMiB: 2, WithCPU: true})
+	rt := core.NewRuntime(e, tree, core.DefaultOptions())
+	dram := tree.Node(1)
+
+	// GEMM.
+	gres, err := gemm.RunNorthup(rt, gemm.Config{N: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used := dram.Mem.Used(); used != 0 {
+		t.Fatalf("gemm leaked %d staging bytes", used)
+	}
+	want := make([]float32, 128*128)
+	gemm.Reference(want, workload.Dense(128, 128, 1), workload.Dense(128, 128, 2), 128, 128, 128)
+	for i := range want {
+		d := gres.C[i] - want[i]
+		if d > 0.01 || d < -0.01 {
+			t.Fatal("gemm result wrong on shared runtime")
+		}
+	}
+
+	// HotSpot.
+	hres, err := hotspot.RunNorthup(rt, hotspot.Config{N: 64, Seed: 2, ChunkDim: 32, Iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used := dram.Mem.Used(); used != 0 {
+		t.Fatalf("hotspot leaked %d staging bytes", used)
+	}
+	if hres.Temp == nil {
+		t.Fatal("hotspot produced no result")
+	}
+
+	// SpMV.
+	sres, err := spmv.RunNorthup(rt, spmv.Config{N: 2000, AvgNNZ: 8,
+		Kind: workload.SparseUniform, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used := dram.Mem.Used(); used != 0 {
+		t.Fatalf("spmv leaked %d staging bytes", used)
+	}
+	m := workload.Sparse(workload.SparseUniform, 2000, 8, 3)
+	wantY := spmv.Reference(m, workload.Vector(2000, 4))
+	for i := range wantY {
+		d := sres.Y[i] - wantY[i]
+		if d > 0.01 || d < -0.01 {
+			t.Fatal("spmv result wrong on shared runtime")
+		}
+	}
+
+	// The runtime's accumulated breakdown covers all three runs.
+	if rt.Breakdown().Sum() <= gres.Stats.Breakdown.Sum() {
+		t.Fatal("accumulated breakdown does not include later runs")
+	}
+}
+
+// TestFiguresAreDeterministic reruns a figure driver and demands
+// bit-identical output: the whole point of the DES substitution.
+func TestFiguresAreDeterministic(t *testing.T) {
+	run := func() string {
+		res, err := figures.Fig6(figures.Options{Scale: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("figure 6 not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestScaleInvarianceOfOrdering checks that the qualitative Figure 6
+// ordering (disk > ssd > in-memory; csr most affected) holds at every
+// supported scale.
+func TestScaleInvarianceOfOrdering(t *testing.T) {
+	for _, scale := range []int{4, 8} {
+		res, err := figures.Fig6(figures.Options{Scale: scale})
+		if err != nil {
+			t.Fatalf("scale %d: %v", scale, err)
+		}
+		for _, app := range figures.Apps {
+			ssd := res.Row(app, figures.SSD).Normalized
+			hdd := res.Row(app, figures.HDD).Normalized
+			if !(1.0 < ssd && ssd < hdd) {
+				t.Fatalf("scale %d, %v: ordering broken (ssd=%.2f disk=%.2f)",
+					scale, app, ssd, hdd)
+			}
+		}
+	}
+}
+
+// TestPhantomNeverAllocatesPayloads pins the memory story of phantom mode:
+// a paper-scale run must not materialize gigabytes.
+func TestPhantomNeverAllocatesPayloads(t *testing.T) {
+	e := sim.NewEngine()
+	tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD,
+		StorageMiB: 24576, DRAMMiB: 2048})
+	opts := core.DefaultOptions()
+	opts.Phantom = true
+	rt := core.NewRuntime(e, tree, opts)
+	res, err := gemm.RunNorthup(rt, gemm.Config{N: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.C != nil {
+		t.Fatal("phantom run produced a result matrix")
+	}
+	// The simulated device believes 2+ GiB are reserved while host memory
+	// holds none of it; reaching here without OOM is the real assertion.
+	if res.Stats.Elapsed <= 0 {
+		t.Fatal("no virtual time charged")
+	}
+}

@@ -1,0 +1,168 @@
+// Package alloc implements the per-node space allocator behind Northup's
+// unified alloc()/release() interface (paper Table I).
+//
+// Every memory or storage node of the tree owns one Allocator managing its
+// byte range [0, capacity). Buffers receive extents (offset + size) within
+// that range; offsets matter because the mechanical-drive seek model and the
+// paper's blocking-size decisions ("by examining the capacity and usage, a
+// program can decide the blocking size", §III-B) both read them.
+//
+// The allocator is a first-fit free list with coalescing on free — simple,
+// deterministic, and O(extents), which is plenty for coarse-grained chunk
+// buffers.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+)
+
+// Align is the allocation granularity: extents start and end on 64-byte
+// boundaries, matching typical DMA alignment requirements.
+const Align = 64
+
+// Extent is an allocated byte range on a node's device.
+type Extent struct {
+	Off  int64
+	Size int64 // rounded up to Align
+}
+
+// End returns the first byte past the extent.
+func (x Extent) End() int64 { return x.Off + x.Size }
+
+// Allocator manages the address range of one device.
+type Allocator struct {
+	dev  *device.Device
+	free []Extent        // sorted by Off, coalesced, non-overlapping
+	live map[int64]int64 // offset -> size of live allocations (for checking)
+}
+
+// New creates an allocator covering the device's full capacity.
+func New(dev *device.Device) *Allocator {
+	return &Allocator{
+		dev:  dev,
+		free: []Extent{{Off: 0, Size: dev.Capacity() / Align * Align}},
+		live: make(map[int64]int64),
+	}
+}
+
+// Device returns the device this allocator manages.
+func (a *Allocator) Device() *device.Device { return a.dev }
+
+func roundUp(n int64) int64 { return (n + Align - 1) / Align * Align }
+
+// Alloc reserves size bytes (rounded up to Align) and returns the extent.
+// It fails with the device's *device.ErrCapacity when space is exhausted,
+// or an error mentioning fragmentation when total free space would suffice
+// but no single extent does.
+func (a *Allocator) Alloc(size int64) (Extent, error) {
+	if size <= 0 {
+		return Extent{}, fmt.Errorf("alloc: non-positive size %d", size)
+	}
+	need := roundUp(size)
+	for i, f := range a.free {
+		if f.Size >= need {
+			if err := a.dev.Reserve(need); err != nil {
+				return Extent{}, err
+			}
+			x := Extent{Off: f.Off, Size: need}
+			if f.Size == need {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			} else {
+				a.free[i] = Extent{Off: f.Off + need, Size: f.Size - need}
+			}
+			a.live[x.Off] = x.Size
+			return x, nil
+		}
+	}
+	totalFree := int64(0)
+	for _, f := range a.free {
+		totalFree += f.Size
+	}
+	if totalFree >= need {
+		return Extent{}, fmt.Errorf("alloc: %s: %d bytes requested, %d free but fragmented across %d extents",
+			a.dev.Name(), need, totalFree, len(a.free))
+	}
+	return Extent{}, &device.ErrCapacity{Device: a.dev.Name(), Need: need,
+		Free: totalFree, Capacity: a.dev.Capacity()}
+}
+
+// Free returns an extent to the pool, coalescing with neighbours. Freeing
+// an extent that was not allocated (or double-freeing) panics: that is
+// always a runtime bug.
+func (a *Allocator) Free(x Extent) {
+	size, ok := a.live[x.Off]
+	if !ok || size != x.Size {
+		panic(fmt.Sprintf("alloc: %s: freeing unallocated extent {%d,%d}",
+			a.dev.Name(), x.Off, x.Size))
+	}
+	delete(a.live, x.Off)
+	a.dev.Unreserve(x.Size)
+
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].Off > x.Off })
+	a.free = append(a.free, Extent{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = x
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(a.free) && a.free[i].End() == a.free[i+1].Off {
+		a.free[i].Size += a.free[i+1].Size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].End() == a.free[i].Off {
+		a.free[i-1].Size += a.free[i].Size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// LiveCount returns the number of outstanding allocations.
+func (a *Allocator) LiveCount() int { return len(a.live) }
+
+// FreeExtents returns the number of extents on the free list (a
+// fragmentation indicator).
+func (a *Allocator) FreeExtents() int { return len(a.free) }
+
+// FreeBytes returns the total allocatable bytes remaining.
+func (a *Allocator) FreeBytes() int64 {
+	var total int64
+	for _, f := range a.free {
+		total += f.Size
+	}
+	return total
+}
+
+// CheckInvariants verifies internal consistency: the free list is sorted,
+// coalesced and in range, and free extents overlap no live allocation.
+// It is exported for property-based tests.
+func (a *Allocator) CheckInvariants() error {
+	limit := a.dev.Capacity()
+	for i, f := range a.free {
+		if f.Off < 0 || f.End() > limit || f.Size <= 0 {
+			return fmt.Errorf("free extent %d out of range: %+v", i, f)
+		}
+		if i > 0 {
+			prev := a.free[i-1]
+			if prev.End() > f.Off {
+				return fmt.Errorf("free extents %d,%d overlap", i-1, i)
+			}
+			if prev.End() == f.Off {
+				return fmt.Errorf("free extents %d,%d not coalesced", i-1, i)
+			}
+		}
+		for off, size := range a.live {
+			if f.Off < off+size && off < f.End() {
+				return fmt.Errorf("free extent %+v overlaps live {%d,%d}", f, off, size)
+			}
+		}
+	}
+	for off, size := range a.live {
+		for off2, size2 := range a.live {
+			if off != off2 && off < off2+size2 && off2 < off+size {
+				return fmt.Errorf("live allocations overlap: {%d,%d} and {%d,%d}",
+					off, size, off2, size2)
+			}
+		}
+	}
+	return nil
+}

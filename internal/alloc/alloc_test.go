@@ -1,0 +1,175 @@
+package alloc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+func newAlloc(capacity int64) *Allocator {
+	e := sim.NewEngine()
+	return New(device.New(e, device.DRAMProfile(capacity)))
+}
+
+func TestAllocFreeReuse(t *testing.T) {
+	a := newAlloc(1 << 20)
+	x, err := a.Alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Size != roundUp(1000) || x.Off%Align != 0 {
+		t.Fatalf("extent = %+v", x)
+	}
+	y, err := a.Alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Off < x.End() {
+		t.Fatalf("y %+v overlaps x %+v", y, x)
+	}
+	a.Free(x)
+	z, err := a.Alloc(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Off != x.Off {
+		t.Fatalf("freed space not reused first-fit: z=%+v", z)
+	}
+	if a.LiveCount() != 2 {
+		t.Fatalf("live = %d", a.LiveCount())
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := newAlloc(4096)
+	if _, err := a.Alloc(4096); err != nil {
+		t.Fatal(err)
+	}
+	_, err := a.Alloc(64)
+	var ce *device.ErrCapacity
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFragmentationReported(t *testing.T) {
+	a := newAlloc(64 * 10)
+	var xs []Extent
+	for i := 0; i < 10; i++ {
+		x, err := a.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs = append(xs, x)
+	}
+	// Free every other extent: 5*64 free but max contiguous 64.
+	for i := 0; i < 10; i += 2 {
+		a.Free(xs[i])
+	}
+	_, err := a.Alloc(128)
+	if err == nil {
+		t.Fatal("fragmented alloc succeeded")
+	}
+	var ce *device.ErrCapacity
+	if errors.As(err, &ce) {
+		t.Fatalf("expected fragmentation error, got capacity error: %v", err)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	a := newAlloc(1 << 16)
+	x, _ := a.Alloc(64)
+	y, _ := a.Alloc(64)
+	z, _ := a.Alloc(64)
+	a.Free(x)
+	a.Free(z)
+	if a.FreeExtents() != 3 { // [x] [z..rest] are separate; plus trailing
+		t.Logf("free extents = %d", a.FreeExtents())
+	}
+	a.Free(y) // bridges x and z+rest into one extent
+	if a.FreeExtents() != 1 {
+		t.Fatalf("free extents after full free = %d, want 1", a.FreeExtents())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	big, err := a.Alloc(1 << 16 / Align * Align)
+	if err != nil {
+		t.Fatalf("full-range alloc after coalesce failed: %v", err)
+	}
+	_ = big
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := newAlloc(4096)
+	x, _ := a.Alloc(64)
+	a.Free(x)
+	a.Free(x)
+}
+
+func TestZeroAllocRejected(t *testing.T) {
+	a := newAlloc(4096)
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("zero alloc succeeded")
+	}
+	if _, err := a.Alloc(-5); err == nil {
+		t.Fatal("negative alloc succeeded")
+	}
+}
+
+func TestDeviceAccountingTracksAllocator(t *testing.T) {
+	e := sim.NewEngine()
+	dev := device.New(e, device.DRAMProfile(1<<20))
+	a := New(dev)
+	x, _ := a.Alloc(1000)
+	if dev.Used() != x.Size {
+		t.Fatalf("device used %d, extent %d", dev.Used(), x.Size)
+	}
+	a.Free(x)
+	if dev.Used() != 0 {
+		t.Fatalf("device used %d after free", dev.Used())
+	}
+}
+
+// TestRandomWorkloadInvariants drives the allocator with arbitrary
+// alloc/free sequences and checks invariants throughout.
+func TestRandomWorkloadInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a := newAlloc(1 << 16)
+		var livePool []Extent
+		for _, op := range ops {
+			if op%3 == 0 && len(livePool) > 0 {
+				// Free a pseudo-random live extent.
+				i := int(op/3) % len(livePool)
+				a.Free(livePool[i])
+				livePool = append(livePool[:i], livePool[i+1:]...)
+			} else {
+				size := int64(op%2048) + 1
+				if x, err := a.Alloc(size); err == nil {
+					livePool = append(livePool, x)
+				}
+			}
+			if err := a.CheckInvariants(); err != nil {
+				t.Logf("invariant violated: %v", err)
+				return false
+			}
+		}
+		// Free everything: the allocator must return to one maximal extent.
+		for _, x := range livePool {
+			a.Free(x)
+		}
+		return a.FreeExtents() == 1 && a.LiveCount() == 0 &&
+			a.FreeBytes() == (1<<16)/Align*Align
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package gemm
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// BenchmarkTileKernelFunctional measures the host-side functional GEMM
+// throughput (what bounds functional-mode test sizes).
+func BenchmarkTileKernelFunctional(b *testing.B) {
+	const n = 256
+	A := make([]float32, n*n)
+	B := make([]float32, n*n)
+	C := make([]float32, n*n)
+	for i := range A {
+		A[i] = float32(i%7) * 0.25
+		B[i] = float32(i%5) * 0.5
+	}
+	e := sim.NewEngine()
+	rt := core.NewRuntime(e, topo.InMemory(e, 64), core.DefaultOptions())
+	b.SetBytes(2 * n * n * n * 4 / n) // matrix traffic per op, not flops
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := rt.Run("k", func(c *core.Ctx) error {
+			kern, groups := TileKernel(C, A, B, n, n, n, false)
+			_, err := c.LaunchKernel(kern, groups)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNorthupPaperScalePhantom measures the wall cost of one
+// paper-scale out-of-core GEMM simulation (the Figure 6 inner loop).
+func BenchmarkNorthupPaperScalePhantom(b *testing.B) {
+	var elapsed sim.Time
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD,
+			StorageMiB: 24576, DRAMMiB: 2048})
+		opts := core.DefaultOptions()
+		opts.Phantom = true
+		rt := core.NewRuntime(e, tree, opts)
+		res, err := RunNorthup(rt, Config{N: 16384})
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed = res.Stats.Elapsed
+	}
+	b.ReportMetric(elapsed.Seconds(), "virtual-s")
+}
+
+// BenchmarkNorthupFunctionalSmall measures a fully functional out-of-core
+// run (computation included) at test scale.
+func BenchmarkNorthupFunctionalSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD,
+			StorageMiB: 64, DRAMMiB: 1})
+		rt := core.NewRuntime(e, tree, core.DefaultOptions())
+		if _, err := RunNorthup(rt, Config{N: 256, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package gemm
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// newNVMRuntime builds the §VI deep hierarchy: HDD -> NVM -> DRAM(+GPU).
+// The NVM level is large enough to hold B; DRAM is small enough to force
+// chunking.
+func newNVMRuntime(phantom bool, storageMiB, nvmMiB, dramMiB int64) *core.Runtime {
+	e := sim.NewEngine()
+	tree := topo.APUWithNVM(e, topo.NVMConfig{Storage: topo.HDD,
+		StorageMiB: storageMiB, NVMMiB: nvmMiB, DRAMMiB: dramMiB})
+	opts := core.DefaultOptions()
+	opts.Phantom = phantom
+	return core.NewRuntime(e, tree, opts)
+}
+
+func TestNorthupOnNVMTreeMatchesReference(t *testing.T) {
+	// The unchanged application must run on the deeper tree: shards stage
+	// at NVM, k-panels move to DRAM, the kernel runs at the leaf.
+	cfg := Config{N: 256, Seed: 31}
+	rt := newNVMRuntime(false, 64, 2, 1)
+	res, err := RunNorthup(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	A := workload.Dense(cfg.N, cfg.N, cfg.Seed)
+	B := workload.Dense(cfg.N, cfg.N, cfg.Seed+1)
+	want := make([]float32, cfg.N*cfg.N)
+	Reference(want, A, B, cfg.N, cfg.N, cfg.N)
+	if !almostEqual(res.C, want, cfg.N) {
+		t.Fatal("NVM-tree result differs from reference")
+	}
+}
+
+func TestStageBMatchesReference(t *testing.T) {
+	cfg := Config{N: 256, Seed: 31, StageB: true}
+	rt := newNVMRuntime(false, 64, 4, 1)
+	res, err := RunNorthup(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BStaged {
+		t.Fatal("StageB not honoured")
+	}
+	A := workload.Dense(cfg.N, cfg.N, cfg.Seed)
+	B := workload.Dense(cfg.N, cfg.N, cfg.Seed+1)
+	want := make([]float32, cfg.N*cfg.N)
+	Reference(want, A, B, cfg.N, cfg.N, cfg.N)
+	if !almostEqual(res.C, want, cfg.N) {
+		t.Fatal("StageB result differs from reference")
+	}
+}
+
+func TestStageBReducesStorageTraffic(t *testing.T) {
+	// §VI's claim, quantified: with B resident at the NVM level, storage
+	// reads drop from ~(CB+1)·N² to ~2·N² floats, and on a disk-backed
+	// root the run gets substantially faster.
+	// NVM is sized like real NVM: far larger than B, so staging does not
+	// shrink the shard working set.
+	run := func(stage bool) (elapsed sim.Time, rootReadBytes int64) {
+		rt := newNVMRuntime(true, 256, 64, 4)
+		// Fix the shard size so both runs chunk identically (4x4 grid).
+		res, err := RunNorthup(rt, Config{N: 1024, Seed: 1, ShardDim: 256, StageB: stage})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads, _, _, _ := rt.Tree().Root().Mem.Stats()
+		return res.Stats.Elapsed, reads
+	}
+	tPlain, readsPlain := run(false)
+	tStaged, readsStaged := run(true)
+	if readsStaged >= readsPlain {
+		t.Fatalf("staging did not reduce storage reads: %d vs %d", readsStaged, readsPlain)
+	}
+	// B re-reads should drop by roughly the chunk-grid factor.
+	if float64(readsPlain)/float64(readsStaged) < 1.5 {
+		t.Fatalf("read reduction too small: %d -> %d", readsPlain, readsStaged)
+	}
+	if tStaged >= tPlain {
+		t.Fatalf("staging not faster on disk root: %v vs %v", tStaged, tPlain)
+	}
+}
+
+func TestStageBRequiresCapacity(t *testing.T) {
+	// A staging level too small for B must be rejected up front.
+	rt := newNVMRuntime(true, 64, 1, 1) // NVM 1 MiB < B (4 MiB at N=1024)
+	if _, err := RunNorthup(rt, Config{N: 1024, StageB: true}); err == nil {
+		t.Fatal("StageB accepted without capacity")
+	}
+}

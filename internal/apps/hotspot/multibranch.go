@@ -1,0 +1,251 @@
+package hotspot
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/view"
+	"repro/internal/workload"
+)
+
+// This file exercises the asymmetric, multi-branch trees of the paper's
+// Figure 2: a storage root with several staging children, each with its own
+// processor. §V-E: "The system is subject to load imbalance when uneven
+// workloads are assigned to different subtrees. Northup's topological tree
+// structure is able to naturally support dynamic load balancing when tree
+// nodes store information such as on-going tasks at different subtrees."
+//
+// Chunks are tracked in a root-level work queue (Listing 1's work_queue on
+// the root node); each branch runs a worker that pops the next chunk, pulls
+// it into its own staging memory, computes on its own processor, and writes
+// the result back. Faster branches naturally take more chunks.
+
+// BranchPolicy selects how chunks are assigned to subtrees.
+type BranchPolicy int
+
+const (
+	// StaticPartition splits chunks evenly across branches up front: the
+	// imbalance-prone baseline.
+	StaticPartition BranchPolicy = iota
+	// DynamicQueue lets branches pop chunks from a shared root queue as
+	// they finish: the tree-supported balancing of §V-E.
+	DynamicQueue
+)
+
+// String names the policy.
+func (p BranchPolicy) String() string {
+	if p == StaticPartition {
+		return "static"
+	}
+	return "dynamic"
+}
+
+// MultiBranchConfig parameterizes a multi-branch stencil run.
+type MultiBranchConfig struct {
+	N        int
+	Seed     int64
+	ChunkDim int
+	Iters    int
+	Policy   BranchPolicy
+}
+
+// MultiBranchResult reports the run and the per-branch chunk counts.
+type MultiBranchResult struct {
+	Temp           []float32
+	Stats          core.RunStats
+	ChunksByBranch []int
+}
+
+// RunMultiBranch executes one out-of-core pass with chunks spread across
+// all of the root's staging branches. Each branch must be a memory node
+// with a GPU leaf context (the branch node itself may be the leaf).
+// Borders are taken from the pass-start state, as in RunNorthup; the result
+// is identical to the single-branch blocked execution regardless of policy
+// or branch count.
+func RunMultiBranch(rt *core.Runtime, cfg MultiBranchConfig) (*MultiBranchResult, error) {
+	if cfg.N <= 0 || cfg.ChunkDim <= 0 || cfg.N%cfg.ChunkDim != 0 || cfg.ChunkDim%BlockDim != 0 {
+		return nil, fmt.Errorf("hotspot: invalid multibranch config N=%d chunk=%d", cfg.N, cfg.ChunkDim)
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 60
+	}
+	root := rt.Tree().Root()
+	if root.Store == nil {
+		return nil, fmt.Errorf("hotspot: tree root %v is not storage", root)
+	}
+	branches := root.Children
+	if len(branches) < 1 {
+		return nil, fmt.Errorf("hotspot: no staging branches under the root")
+	}
+
+	n, d := cfg.N, cfg.ChunkDim
+	cb := n / d
+	chunks := cb * cb
+	chunkBytes := int64(d) * int64(d) * 4
+	borderBytes := int64(4*d) * 4
+	gridBytes := int64(n) * int64(n) * 4
+	functional := !rt.Phantom()
+
+	var tempPre, powerPre, border0 []byte
+	if functional {
+		grid := workload.HotSpotGrid(n, cfg.Seed)
+		tempPre = view.F32Bytes(toChunkMajor(grid.Temp, n, d))
+		powerPre = view.F32Bytes(toChunkMajor(grid.Power, n, d))
+		border0 = view.F32Bytes(packAllBorders(grid.Temp, n, d))
+	}
+	fIn, err := rt.CreateInput(root, "mb-temp-in", gridBytes, tempPre)
+	if err != nil {
+		return nil, err
+	}
+	fOut, err := rt.CreateInput(root, "mb-temp-out", gridBytes, nil)
+	if err != nil {
+		return nil, err
+	}
+	fP, err := rt.CreateInput(root, "mb-power", gridBytes, powerPre)
+	if err != nil {
+		return nil, err
+	}
+	fB, err := rt.CreateInput(root, "mb-border", int64(chunks)*borderBytes, border0)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MultiBranchResult{ChunksByBranch: make([]int, len(branches))}
+
+	stats, err := rt.Run("hotspot-multibranch", func(c *core.Ctx) error {
+		// The root work queue tracks chunk tasks (Listing 1); with the
+		// static policy each branch gets its own pre-filled queue instead.
+		var shared *sched.Deque[int]
+		var perBranch []*sched.Deque[int]
+		ids := make([]int, chunks)
+		for i := range ids {
+			ids[i] = i
+		}
+		if cfg.Policy == DynamicQueue {
+			shared = sched.NewDeque[int]("root-chunks")
+			for _, id := range ids {
+				shared.PushTail(id)
+			}
+			root.Queues = []sched.Monitor{shared}
+		} else {
+			perBranch = sched.Partition(ids, len(branches), "branch")
+			mons := make([]sched.Monitor, len(perBranch))
+			for i, q := range perBranch {
+				mons[i] = q
+			}
+			root.Queues = mons
+		}
+
+		wg := sim.NewWaitGroup(c.Runtime().Engine())
+		for bi, branch := range branches {
+			bi, branch := bi, branch
+			wg.Add(1)
+			c.Spawn(fmt.Sprintf("branch%d", bi), c.Node(), func(sub *core.Ctx) error {
+				defer wg.Done()
+				next := func() (int, bool) {
+					if cfg.Policy == DynamicQueue {
+						return shared.StealHead()
+					}
+					return perBranch[bi].StealHead()
+				}
+				for {
+					ci, ok := next()
+					if !ok {
+						return nil
+					}
+					if err := processBranchChunk(sub, branch, cfg, ci, cb,
+						chunkBytes, borderBytes, fIn, fOut, fP, fB, functional); err != nil {
+						return err
+					}
+					res.ChunksByBranch[bi]++
+				}
+			})
+		}
+		wg.Wait(c.Proc())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = stats
+	if functional {
+		final := make([]float32, n*n)
+		if err := fOut.File().Peek(view.F32Bytes(final), 0); err != nil {
+			return nil, err
+		}
+		res.Temp = fromChunkMajor(final, n, d)
+	}
+	return res, nil
+}
+
+// processBranchChunk runs one chunk through one branch: load into the
+// branch's staging memory, iterate at its leaf, store back.
+func processBranchChunk(sub *core.Ctx, branch *topo.Node, cfg MultiBranchConfig,
+	ci, cb int, chunkBytes, borderBytes int64,
+	fIn, fOut, fP, fB *core.Buffer, functional bool) error {
+
+	d := cfg.ChunkDim
+	tin, err := sub.AllocAt(branch, chunkBytes)
+	if err != nil {
+		return err
+	}
+	tout, err := sub.AllocAt(branch, chunkBytes)
+	if err != nil {
+		return err
+	}
+	pow, err := sub.AllocAt(branch, chunkBytes)
+	if err != nil {
+		return err
+	}
+	bord, err := sub.AllocAt(branch, borderBytes)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		sub.Release(tin)
+		sub.Release(tout)
+		sub.Release(pow)
+		sub.Release(bord)
+	}()
+	if err := sub.MoveData(tin, fIn, 0, int64(ci)*chunkBytes, chunkBytes); err != nil {
+		return err
+	}
+	if err := sub.MoveData(pow, fP, 0, int64(ci)*chunkBytes, chunkBytes); err != nil {
+		return err
+	}
+	if err := sub.MoveData(bord, fB, 0, borderOff(ci, d), borderBytes); err != nil {
+		return err
+	}
+	err = sub.Descend(branch, func(lc *core.Ctx) error {
+		var blk *Block
+		if functional {
+			blk = &Block{
+				D:     d,
+				In:    view.F32(tin.Bytes()),
+				Out:   view.F32(tout.Bytes()),
+				Power: view.F32(pow.Bytes()),
+				B:     unpackBorders(view.F32(bord.Bytes()), d, cb, ci),
+			}
+		}
+		for it := 0; it < cfg.Iters; it++ {
+			kern, groups := TileKernelFor(blk, d)
+			if _, err := lc.LaunchKernel(kern, groups); err != nil {
+				return err
+			}
+			if blk != nil {
+				blk.Swap()
+			}
+		}
+		if functional && cfg.Iters%2 == 1 {
+			copy(view.F32(tin.Bytes()), view.F32(tout.Bytes()))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return sub.MoveData(fOut, tin, int64(ci)*chunkBytes, 0, chunkBytes)
+}

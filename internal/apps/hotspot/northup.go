@@ -1,0 +1,554 @@
+package hotspot
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/view"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a HotSpot-2D run.
+type Config struct {
+	// N is the grid dimension.
+	N int
+	// Seed drives input generation (functional runs only).
+	Seed int64
+	// ChunkDim forces the out-of-core blocking (the paper's 8k for 16k
+	// inputs); 0 derives it from the staging capacity.
+	ChunkDim int
+	// Iters is the number of Jacobi steps per pass (Rodinia's default
+	// simulation runs 60 steps).
+	Iters int
+	// Passes repeats the whole out-of-core sweep, regenerating border
+	// vectors between passes.
+	Passes int
+	// Depth is the chunk-pipeline depth (default 1: double buffering of
+	// whole chunks, which is what 2 GiB of staging admits at 8k blocking).
+	Depth int
+}
+
+func (cfg *Config) setDefaults() error {
+	if cfg.N <= 0 || cfg.N%BlockDim != 0 {
+		return fmt.Errorf("hotspot: N=%d must be a positive multiple of %d", cfg.N, BlockDim)
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 60
+	}
+	if cfg.Passes <= 0 {
+		cfg.Passes = 1
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 1
+	}
+	return nil
+}
+
+// Result carries the run's output and measurements.
+type Result struct {
+	// Temp is the final temperature grid (nil in phantom mode).
+	Temp []float32
+	// Stats is the measured run (excluding input preprocessing).
+	Stats core.RunStats
+	// ChunkDim is the blocking actually used.
+	ChunkDim int
+}
+
+// chooseChunkDim picks the largest chunk edge (multiple of BlockDim,
+// dividing n) whose in/out/power buffers and borders fit depth+1 times into
+// the free staging bytes.
+func chooseChunkDim(n, depth int, free int64) (int, error) {
+	for d := n; d >= BlockDim; d -= BlockDim {
+		if n%d != 0 {
+			continue
+		}
+		per := 4 * (3*int64(d)*int64(d) + 4*int64(d))
+		if per*int64(depth+1) <= free*9/10 {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("hotspot: no chunk size fits %d free bytes for N=%d", free, n)
+}
+
+// borderOff returns the file offset of chunk ci's packed border record
+// (four vectors of d floats: N, S, W, E; absent sides are zero-filled and
+// identified by chunk position).
+func borderOff(ci, d int) int64 { return int64(ci) * 4 * int64(d) * 4 }
+
+// TileKernelFor builds the GPU kernel advancing blk by one Jacobi step.
+// A nil blk gives the phantom (timing-only) kernel.
+func TileKernelFor(blk *Block, d int) (gpu.Kernel, int) {
+	tiles := (d + BlockDim - 1) / BlockDim
+	groups := tiles * tiles
+	kern := gpu.Kernel{
+		Name:          "hotspot-tile",
+		FlopsPerGroup: TileFlops,
+		BytesPerGroup: TileBytes,
+		LocalBytes:    TileLocalBytes,
+	}
+	if blk != nil {
+		kern.Run = func(g int) { blk.StepTile(g/tiles, g%tiles) }
+	}
+	return kern, groups
+}
+
+// RunNorthup executes the out-of-core thermal simulation per §IV-B: the
+// grid lives chunk-major on the storage root (the one-time preprocessing),
+// each pass pipelines chunks through the staging level, runs Iters stencil
+// steps on the GPU with pass-start border vectors, writes results back, and
+// regenerates the border file for the next pass from chunk edges.
+func RunNorthup(rt *core.Runtime, cfg Config) (*Result, error) {
+	return runChunked(rt, cfg, func(lc *core.Ctx, blk *Block, d int) error {
+		for it := 0; it < cfg.itersResolved(); it++ {
+			kern, groups := TileKernelFor(blk, d)
+			if _, err := lc.LaunchKernel(kern, groups); err != nil {
+				return err
+			}
+			if blk != nil {
+				blk.Swap()
+			}
+		}
+		return nil
+	})
+}
+
+// itersResolved returns the per-pass iteration count after defaulting.
+func (cfg *Config) itersResolved() int {
+	if cfg.Iters <= 0 {
+		return 60
+	}
+	return cfg.Iters
+}
+
+// chunkComputeFn advances one chunk by the configured iteration count.
+// blk is nil in phantom mode; implementations must call blk.Swap() after
+// every iteration so the final state lands per the odd/even convention
+// runChunked folds up.
+type chunkComputeFn func(lc *core.Ctx, blk *Block, d int) error
+
+// runChunked is the shared out-of-core skeleton: preprocessing, the
+// load / compute / store pipeline over chunks, border regeneration between
+// passes, and result assembly. RunNorthup plugs in the kernel-launch
+// compute; RunSteal plugs in the queue-based CPU+GPU scheduler.
+func runChunked(rt *core.Runtime, cfg Config, compute chunkComputeFn) (*Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	root := rt.Tree().Root()
+	if root.Store == nil {
+		return nil, fmt.Errorf("hotspot: tree root %v is not storage", root)
+	}
+	dram := root.Children[0]
+	n := cfg.N
+	d := cfg.ChunkDim
+	if d == 0 {
+		var err error
+		if d, err = chooseChunkDim(n, cfg.Depth, dram.Mem.Free()); err != nil {
+			return nil, err
+		}
+	}
+	if n%d != 0 || d%BlockDim != 0 {
+		return nil, fmt.Errorf("hotspot: chunk %d invalid for N=%d", d, n)
+	}
+	cb := n / d
+	chunks := cb * cb
+	chunkBytes := int64(d) * int64(d) * 4
+	borderBytes := int64(4*d) * 4
+
+	// Preprocess inputs (untimed, as in the paper): chunk-major temp and
+	// power files, plus the initial border file.
+	functional := !rt.Phantom()
+	var tempPre, powerPre, border0 []byte
+	var grid *workload.Grid
+	if functional {
+		grid = workload.HotSpotGrid(n, cfg.Seed)
+		tempPre = view.F32Bytes(toChunkMajor(grid.Temp, n, d))
+		powerPre = view.F32Bytes(toChunkMajor(grid.Power, n, d))
+		border0 = view.F32Bytes(packAllBorders(grid.Temp, n, d))
+	}
+	gridBytes := int64(n) * int64(n) * 4
+	fT := [2]*core.Buffer{}
+	var err error
+	if fT[0], err = rt.CreateInput(root, "hs-temp-0", gridBytes, tempPre); err != nil {
+		return nil, err
+	}
+	if fT[1], err = rt.CreateInput(root, "hs-temp-1", gridBytes, nil); err != nil {
+		return nil, err
+	}
+	fP, err := rt.CreateInput(root, "hs-power", gridBytes, powerPre)
+	if err != nil {
+		return nil, err
+	}
+	fB := [2]*core.Buffer{}
+	if fB[0], err = rt.CreateInput(root, "hs-border-0", int64(chunks)*borderBytes, border0); err != nil {
+		return nil, err
+	}
+	if fB[1], err = rt.CreateInput(root, "hs-border-1", int64(chunks)*borderBytes, nil); err != nil {
+		return nil, err
+	}
+
+	type inflight struct {
+		tin, tout, pow, bord *core.Buffer
+	}
+	slots := make([]inflight, chunks)
+
+	stats, err := rt.Run("hotspot-northup", func(c *core.Ctx) error {
+		for pass := 0; pass < cfg.Passes; pass++ {
+			src, dst := fT[pass%2], fT[(pass+1)%2]
+			bSrc, bDst := fB[pass%2], fB[(pass+1)%2]
+			err := c.Pipeline(chunks, cfg.Depth,
+				func(sub *core.Ctx, ci int) error { // load chunk + borders
+					var s inflight
+					var err error
+					if s.tin, err = sub.AllocAt(dram, chunkBytes); err != nil {
+						return err
+					}
+					if s.tout, err = sub.AllocAt(dram, chunkBytes); err != nil {
+						return err
+					}
+					if s.pow, err = sub.AllocAt(dram, chunkBytes); err != nil {
+						return err
+					}
+					if s.bord, err = sub.AllocAt(dram, borderBytes); err != nil {
+						return err
+					}
+					slots[ci] = s
+					if err := sub.MoveData(s.tin, src, 0, int64(ci)*chunkBytes, chunkBytes); err != nil {
+						return err
+					}
+					if err := sub.MoveData(s.pow, fP, 0, int64(ci)*chunkBytes, chunkBytes); err != nil {
+						return err
+					}
+					return sub.MoveData(s.bord, bSrc, 0, borderOff(ci, d), borderBytes)
+				},
+				func(sub *core.Ctx, ci int) error { // compute at the leaf, then store
+					s := slots[ci]
+					err := sub.Descend(dram, func(dc *core.Ctx) error {
+						return computeChunk(dc, cfg, compute, s.tin, s.tout, s.pow, s.bord,
+							d, cb, ci, functional)
+					})
+					if err != nil {
+						return err
+					}
+					// Store the chunk and the borders its neighbours will
+					// read next pass. Keeping store in the compute stage
+					// bounds in-flight chunks to depth+1, which is what a
+					// 2 GiB staging buffer admits at the paper's 8k
+					// blocking.
+					if err := sub.MoveData(dst, s.tin, int64(ci)*chunkBytes, 0, chunkBytes); err != nil {
+						return err
+					}
+					if err := writeNeighborBorders(sub, bDst, s.tin, d, cb, ci); err != nil {
+						return err
+					}
+					sub.Release(s.tin)
+					sub.Release(s.tout)
+					sub.Release(s.pow)
+					sub.Release(s.bord)
+					slots[ci] = inflight{}
+					return nil
+				},
+			)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Stats: stats, ChunkDim: d}
+	if functional {
+		final := make([]float32, n*n)
+		if err := fT[cfg.Passes%2].File().Peek(view.F32Bytes(final), 0); err != nil {
+			return nil, err
+		}
+		res.Temp = fromChunkMajor(final, n, d)
+	}
+	return res, nil
+}
+
+// computeChunk runs the per-chunk iterations at the leaf. On the 2-level
+// APU tree dc already is the leaf; on the 3-level discrete tree (Figure 8)
+// the chunk and its borders move one more level down into GPU device
+// memory, compute there, and the result moves back up over PCIe.
+func computeChunk(dc *core.Ctx, cfg Config, compute chunkComputeFn,
+	tin, tout, pow, bord *core.Buffer, d, cb, ci int, functional bool) error {
+
+	foldOdd := func(in, out *core.Buffer) {
+		if functional && cfg.itersResolved()%2 == 1 {
+			// An odd iteration count leaves the result in the out backing
+			// array; fold it back so the store path always reads in.
+			copy(view.F32(in.Bytes()), view.F32(out.Bytes()))
+		}
+	}
+	mkBlock := func(in, out, power, borders *core.Buffer) *Block {
+		if !functional {
+			return nil
+		}
+		return &Block{
+			D:     d,
+			In:    view.F32(in.Bytes()),
+			Out:   view.F32(out.Bytes()),
+			Power: view.F32(power.Bytes()),
+			B:     unpackBorders(view.F32(borders.Bytes()), d, cb, ci),
+		}
+	}
+
+	if dc.IsLeaf() {
+		if err := compute(dc, mkBlock(tin, tout, pow, bord), d); err != nil {
+			return err
+		}
+		foldOdd(tin, tout)
+		return nil
+	}
+
+	// 3-level path: stage the chunk into the child (GPU device) memory.
+	child := dc.Children()[0]
+	chunkBytes := tin.Size()
+	gin, err := dc.AllocAt(child, chunkBytes)
+	if err != nil {
+		return err
+	}
+	gout, err := dc.AllocAt(child, chunkBytes)
+	if err != nil {
+		return err
+	}
+	gpow, err := dc.AllocAt(child, chunkBytes)
+	if err != nil {
+		return err
+	}
+	gbord, err := dc.AllocAt(child, bord.Size())
+	if err != nil {
+		return err
+	}
+	defer func() {
+		dc.Release(gin)
+		dc.Release(gout)
+		dc.Release(gpow)
+		dc.Release(gbord)
+	}()
+	if err := dc.MoveDataDown(gin, tin, 0, 0, chunkBytes); err != nil {
+		return err
+	}
+	if err := dc.MoveDataDown(gpow, pow, 0, 0, chunkBytes); err != nil {
+		return err
+	}
+	if err := dc.MoveDataDown(gbord, bord, 0, 0, bord.Size()); err != nil {
+		return err
+	}
+	err = dc.Descend(child, func(lc *core.Ctx) error {
+		if !lc.IsLeaf() {
+			return fmt.Errorf("hotspot: trees deeper than 3 levels are not supported")
+		}
+		if err := compute(lc, mkBlock(gin, gout, gpow, gbord), d); err != nil {
+			return err
+		}
+		foldOdd(gin, gout)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return dc.MoveDataUp(tin, gin, 0, 0, chunkBytes)
+}
+
+// writeNeighborBorders packs the result chunk's edge rows/columns and
+// writes them into the border records its four neighbors will read next
+// pass. Column edges are gathered into compact vectors first — the §IV-B
+// fix for non-contiguous east/west borders.
+func writeNeighborBorders(sub *core.Ctx, bDst *core.Buffer, tin *core.Buffer, d, cb, ci int) error {
+	bi, bj := ci/cb, ci%cb
+	rowBytes := int64(d) * 4
+	functional := !sub.Runtime().Phantom()
+
+	// South neighbor's NORTH border = our bottom row (contiguous).
+	if bi+1 < cb {
+		off := borderOff((bi+1)*cb+bj, d) + 0
+		if err := sub.MoveData(bDst, tin, off, int64(d-1)*rowBytes, rowBytes); err != nil {
+			return err
+		}
+	}
+	// North neighbor's SOUTH border = our top row (contiguous).
+	if bi > 0 {
+		off := borderOff((bi-1)*cb+bj, d) + rowBytes
+		if err := sub.MoveData(bDst, tin, off, 0, rowBytes); err != nil {
+			return err
+		}
+	}
+	// East neighbor's WEST border = our rightmost column (strided; pack it).
+	if bj+1 < cb {
+		if err := writePackedColumn(sub, bDst, tin, d, functional,
+			d-1, borderOff(bi*cb+bj+1, d)+2*rowBytes); err != nil {
+			return err
+		}
+	}
+	// West neighbor's EAST border = our leftmost column.
+	if bj > 0 {
+		if err := writePackedColumn(sub, bDst, tin, d, functional,
+			0, borderOff(bi*cb+bj-1, d)+3*rowBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePackedColumn gathers column col of the d x d chunk in tin into a
+// compact staging vector (a strided 2-D move, charged as such) and writes
+// the packed vector to the border file at fileOff.
+func writePackedColumn(sub *core.Ctx, bDst, tin *core.Buffer, d int, functional bool, col int, fileOff int64) error {
+	vec, err := sub.AllocAt(tin.Node(), int64(d)*4)
+	if err != nil {
+		return err
+	}
+	defer sub.Release(vec)
+	if err := sub.MoveData2D(vec, tin, 0, 4, int64(col)*4, int64(d)*4, d, 4); err != nil {
+		return err
+	}
+	return sub.MoveData(bDst, vec, fileOff, 0, int64(d)*4)
+}
+
+// toChunkMajor reorders a row-major n x n grid into chunk-major layout
+// (chunk (bi,bj) of d x d stored contiguously, row-major within the chunk).
+func toChunkMajor(g []float32, n, d int) []float32 {
+	cb := n / d
+	out := make([]float32, n*n)
+	for bi := 0; bi < cb; bi++ {
+		for bj := 0; bj < cb; bj++ {
+			base := (bi*cb + bj) * d * d
+			for r := 0; r < d; r++ {
+				copy(out[base+r*d:base+(r+1)*d], g[(bi*d+r)*n+bj*d:(bi*d+r)*n+(bj+1)*d])
+			}
+		}
+	}
+	return out
+}
+
+// fromChunkMajor inverts toChunkMajor.
+func fromChunkMajor(g []float32, n, d int) []float32 {
+	cb := n / d
+	out := make([]float32, n*n)
+	for bi := 0; bi < cb; bi++ {
+		for bj := 0; bj < cb; bj++ {
+			base := (bi*cb + bj) * d * d
+			for r := 0; r < d; r++ {
+				copy(out[(bi*d+r)*n+bj*d:(bi*d+r)*n+(bj+1)*d], g[base+r*d:base+(r+1)*d])
+			}
+		}
+	}
+	return out
+}
+
+// packAllBorders builds the initial border file content from the row-major
+// grid: for each chunk, four d-vectors (N, S, W, E), zeros where the chunk
+// touches the grid edge.
+func packAllBorders(temp []float32, n, d int) []float32 {
+	cb := n / d
+	out := make([]float32, cb*cb*4*d)
+	for bi := 0; bi < cb; bi++ {
+		for bj := 0; bj < cb; bj++ {
+			ci := bi*cb + bj
+			base := ci * 4 * d
+			i0, j0 := bi*d, bj*d
+			if i0 > 0 {
+				copy(out[base:base+d], temp[(i0-1)*n+j0:(i0-1)*n+j0+d])
+			}
+			if i0+d < n {
+				copy(out[base+d:base+2*d], temp[(i0+d)*n+j0:(i0+d)*n+j0+d])
+			}
+			if j0 > 0 {
+				for r := 0; r < d; r++ {
+					out[base+2*d+r] = temp[(i0+r)*n+j0-1]
+				}
+			}
+			if j0+d < n {
+				for r := 0; r < d; r++ {
+					out[base+3*d+r] = temp[(i0+r)*n+j0+d]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// unpackBorders builds a Borders view over a chunk's border buffer,
+// nil-ing the sides where chunk ci touches the grid edge.
+func unpackBorders(b []float32, d, cb, ci int) Borders {
+	bi, bj := ci/cb, ci%cb
+	var out Borders
+	if bi > 0 {
+		out.North = b[0:d]
+	}
+	if bi+1 < cb {
+		out.South = b[d : 2*d]
+	}
+	if bj > 0 {
+		out.West = b[2*d : 3*d]
+	}
+	if bj+1 < cb {
+		out.East = b[3*d : 4*d]
+	}
+	return out
+}
+
+// RunInMemory executes the in-memory baseline: the whole grid resident in
+// DRAM, Iters kernel launches, no I/O in the measured region.
+func RunInMemory(rt *core.Runtime, cfg Config) (*Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	rootNode := rt.Tree().Root()
+	if rootNode.Store != nil {
+		return nil, fmt.Errorf("hotspot: in-memory baseline needs a DRAM root (got %v)", rootNode)
+	}
+	n := cfg.N
+	gridBytes := int64(n) * int64(n) * 4
+	functional := !rt.Phantom()
+	iters := cfg.Iters * cfg.Passes
+
+	var res *Result
+	stats, err := rt.Run("hotspot-inmemory", func(c *core.Ctx) error {
+		tin, err := c.Alloc(gridBytes)
+		if err != nil {
+			return err
+		}
+		tout, err := c.Alloc(gridBytes)
+		if err != nil {
+			return err
+		}
+		pow, err := c.Alloc(gridBytes)
+		if err != nil {
+			return err
+		}
+		var blk *Block
+		if functional {
+			grid := workload.HotSpotGrid(n, cfg.Seed)
+			blk = &Block{D: n, In: view.F32(tin.Bytes()), Out: view.F32(tout.Bytes()),
+				Power: view.F32(pow.Bytes())}
+			copy(blk.In, grid.Temp)
+			copy(blk.Power, grid.Power)
+		}
+		for it := 0; it < iters; it++ {
+			kern, groups := TileKernelFor(blk, n)
+			if _, err := c.LaunchKernel(kern, groups); err != nil {
+				return err
+			}
+			if blk != nil {
+				blk.Swap()
+			}
+		}
+		res = &Result{ChunkDim: n}
+		if functional {
+			res.Temp = append([]float32(nil), blk.In...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = stats
+	return res, nil
+}

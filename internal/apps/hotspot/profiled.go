@@ -1,0 +1,87 @@
+package hotspot
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// This file implements §III-E's profile-guided task-processor mapping for
+// the stencil: "By profiling the execution of earlier scheduled chunks, the
+// system can provide useful information to subsequent scheduling and
+// task-processor mapping." Each chunk runs wholly on one processor; the
+// first chunks sample each candidate, after which every chunk goes to the
+// predicted-fastest one.
+
+// ProfiledResult extends Result with the mapping decisions taken.
+type ProfiledResult struct {
+	Result
+	// ChunksOnGPU and ChunksOnCPU count the placement decisions.
+	ChunksOnGPU, ChunksOnCPU int
+}
+
+// RunProfiled executes the out-of-core stencil with profile-guided chunk
+// placement between the leaf CPU and GPU. The tree must have both attached
+// (the APU WithCPU topology).
+func RunProfiled(rt *core.Runtime, cfg Config) (*ProfiledResult, error) {
+	res := &ProfiledResult{}
+	profiler := sched.NewProfileScheduler()
+	compute := func(lc *core.Ctx, blk *Block, d int) error {
+		g := lc.GPUModel()
+		cpu := lc.CPUModel()
+		if g == nil || cpu == nil {
+			return fmt.Errorf("hotspot: profiled mapping needs both CPU and GPU at %v", lc.Node())
+		}
+		iters := cfg.itersResolved()
+		size := float64(d) * float64(d) * float64(iters)
+		pick, err := profiler.Pick([]string{g.ProcName(), cpu.ProcName()}, size)
+		if err != nil {
+			return err
+		}
+		start := lc.Proc().Now()
+		if pick == g.ProcName() {
+			res.ChunksOnGPU++
+			for it := 0; it < iters; it++ {
+				kern, groups := TileKernelFor(blk, d)
+				if _, err := lc.LaunchKernel(kern, groups); err != nil {
+					return err
+				}
+				if blk != nil {
+					blk.Swap()
+				}
+			}
+		} else {
+			res.ChunksOnCPU++
+			tiles := (d + BlockDim - 1) / BlockDim
+			for it := 0; it < iters; it++ {
+				fn := func() {
+					if blk == nil {
+						return
+					}
+					for ty := 0; ty < tiles; ty++ {
+						for tx := 0; tx < tiles; tx++ {
+							blk.StepTile(ty, tx)
+						}
+					}
+				}
+				flops := float64(TileFlops) * float64(tiles*tiles)
+				bytes := float64(TileBytes) * float64(tiles*tiles)
+				if _, err := lc.RunCPUParallel(flops, bytes, fn); err != nil {
+					return err
+				}
+				if blk != nil {
+					blk.Swap()
+				}
+			}
+		}
+		profiler.Record(pick, size, lc.Proc().Now()-start)
+		return nil
+	}
+	r, err := runChunked(rt, cfg, compute)
+	if err != nil {
+		return nil, err
+	}
+	res.Result = *r
+	return res, nil
+}

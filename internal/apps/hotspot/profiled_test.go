@@ -1,0 +1,57 @@
+package hotspot
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestProfiledMatchesReference(t *testing.T) {
+	cfg := Config{N: 128, Seed: 4, ChunkDim: 32, Iters: 2}
+	rt := newStealRuntime(false, true)
+	res, err := RunProfiled(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.HotSpotGrid(cfg.N, cfg.Seed)
+	want, err := ReferenceBlocked(g.Temp, g.Power, cfg.N, cfg.ChunkDim, cfg.Iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Temp, want) {
+		t.Fatal("profiled-mapping result differs from reference")
+	}
+	// 16 chunks: both processors sampled, decisions recorded for all.
+	if res.ChunksOnGPU+res.ChunksOnCPU != 16 {
+		t.Fatalf("placed %d+%d chunks, want 16", res.ChunksOnGPU, res.ChunksOnCPU)
+	}
+	if res.ChunksOnCPU == 0 {
+		t.Fatal("CPU never sampled (no exploration)")
+	}
+}
+
+func TestProfiledConvergesToGPU(t *testing.T) {
+	// For stencil chunks of this size the GPU is clearly faster; after the
+	// exploration phase every remaining chunk must go there.
+	cfg := Config{N: 1024, ChunkDim: 256, Iters: 8}
+	rt := newStealRuntime(true, true)
+	res, err := RunProfiled(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 chunks; exploration needs 2 samples per processor.
+	if res.ChunksOnCPU > 3 {
+		t.Fatalf("%d chunks stayed on the CPU after profiling", res.ChunksOnCPU)
+	}
+	if res.ChunksOnGPU < 12 {
+		t.Fatalf("only %d chunks reached the GPU", res.ChunksOnGPU)
+	}
+}
+
+func TestProfiledNeedsBothProcessors(t *testing.T) {
+	cfg := Config{N: 64, ChunkDim: 32, Iters: 1}
+	rt := newStealRuntime(true, false) // no CPU
+	if _, err := RunProfiled(rt, cfg); err == nil {
+		t.Fatal("profiled mapping ran without a CPU")
+	}
+}

@@ -1,0 +1,270 @@
+package hotspot
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// This file implements the paper's load-balancing case study (§V-E,
+// Figures 10 and 11): HotSpot-2D spread simultaneously over the CPU and the
+// GPU of a shared-virtual-memory APU, with lock-free work stealing.
+//
+// Per Figure 10: when a chunk reaches main memory it is broken into rows of
+// 16-tall blocks; each row is a task pushed onto one of several queues. GPU
+// persistent workgroups and CPU threads pop tasks from the tails of their
+// own queues; a GPU workgroup that runs dry steals from the head of a CPU
+// queue (GPU workgroups process tasks faster, so stealing flows that way).
+
+// StealMode selects the leaf execution strategy of a RunSteal.
+type StealMode int
+
+const (
+	// GPUOnly runs all tasks on GPU queues (Fig. 11's baseline).
+	GPUOnly StealMode = iota
+	// CPUGPU spreads tasks over CPU and GPU queues with stealing.
+	CPUGPU
+)
+
+// String names the mode.
+func (m StealMode) String() string {
+	if m == GPUOnly {
+		return "gpu-only"
+	}
+	return "cpu+gpu"
+}
+
+// CPUThreads is the number of CPU worker threads (one per APU core).
+const CPUThreads = 4
+
+// StealConfig parameterizes a load-balancing run. M and ChunkDim correspond
+// to the paper's (m, n): the square input lives on the SSD at dimension M
+// and moves to main memory in ChunkDim-sized chunks.
+type StealConfig struct {
+	M        int
+	ChunkDim int
+	Seed     int64
+	// Iters is the per-pass stencil iteration count (default 60).
+	Iters int
+	// GPUQueues is the number of GPU work queues (the paper sweeps 8, 16,
+	// 32).
+	GPUQueues int
+	Mode      StealMode
+	// Depth is the chunk pipeline depth (default 1).
+	Depth int
+}
+
+func (cfg *StealConfig) setDefaults() error {
+	if cfg.M <= 0 || cfg.ChunkDim <= 0 ||
+		cfg.M%cfg.ChunkDim != 0 || cfg.ChunkDim%BlockDim != 0 {
+		return fmt.Errorf("hotspot: invalid steal config M=%d chunk=%d", cfg.M, cfg.ChunkDim)
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 60
+	}
+	if cfg.GPUQueues <= 0 {
+		cfg.GPUQueues = 32
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 1
+	}
+	return nil
+}
+
+// StealResult extends Result with scheduling statistics.
+type StealResult struct {
+	Result
+	// Steals counts tasks taken from a victim queue's head.
+	Steals int64
+	// TasksByGPU and TasksByCPU count task executions per processor class.
+	TasksByGPU, TasksByCPU int64
+}
+
+// rowTask identifies one row of BlockDim-tall tiles within the chunk.
+type rowTask int
+
+// stealAcross tries the other processor class's queues first, then the
+// thief's siblings (skipping its own queue, index ownIdx).
+func stealAcross(other, siblings []*sched.Deque[rowTask], ownIdx int) (rowTask, bool) {
+	for _, victim := range other {
+		if t, ok := victim.StealHead(); ok {
+			return t, true
+		}
+	}
+	if t, _, ok := sched.StealFrom(siblings, ownIdx); ok {
+		return t, true
+	}
+	return 0, false
+}
+
+// RunSteal executes the out-of-core stencil with queue-based leaf
+// scheduling. The runtime's tree must be the APU topology with a CPU
+// attached when Mode is CPUGPU.
+func RunSteal(rt *core.Runtime, cfg StealConfig) (*StealResult, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	inner := Config{
+		N: cfg.M, Seed: cfg.Seed, ChunkDim: cfg.ChunkDim,
+		Iters: cfg.Iters, Depth: cfg.Depth,
+	}
+	root := rt.Tree().Root()
+	if root.Store == nil {
+		return nil, fmt.Errorf("hotspot: steal run needs a storage root")
+	}
+	res := &StealResult{}
+	compute := func(lc *core.Ctx, blk *Block, d int) error {
+		return stealCompute(lc, blk, d, cfg, res)
+	}
+	r, err := runChunked(rt, inner, compute)
+	if err != nil {
+		return nil, err
+	}
+	res.Result = *r
+	return res, nil
+}
+
+// stealCompute runs cfg.Iters stencil iterations over one chunk using work
+// queues. blk is nil in phantom mode.
+func stealCompute(lc *core.Ctx, blk *Block, d int, cfg StealConfig, res *StealResult) error {
+	g := lc.GPUModel()
+	if g == nil {
+		return fmt.Errorf("hotspot: no GPU at %v", lc.Node())
+	}
+	cpu := lc.CPUModel()
+	if cfg.Mode == CPUGPU && cpu == nil {
+		return fmt.Errorf("hotspot: CPU+GPU mode needs a CPU at the leaf (build the APU topology WithCPU)")
+	}
+	rows := d / BlockDim
+	tilesPerRow := (d + BlockDim - 1) / BlockDim
+	rowFlops := float64(TileFlops) * float64(tilesPerRow)
+	rowBytes := float64(TileBytes) * float64(tilesPerRow)
+	gpuTaskTime := g.GroupTaskTime(cfg.GPUQueues, rowFlops, rowBytes)
+	var cpuTaskTime sim.Time
+	if cpu != nil {
+		cpuTaskTime = cpu.TaskTime(rowFlops, rowBytes)
+	}
+
+	engine := lc.Proc().Engine()
+	nCPUQ := 0
+	if cfg.Mode == CPUGPU {
+		nCPUQ = CPUThreads
+	}
+	nq := cfg.GPUQueues + nCPUQ
+
+	// Persistent queues for the chunk's lifetime (refilled every
+	// iteration), GPU queues first, CPU queues after.
+	tasks := make([]rowTask, rows)
+	for i := range tasks {
+		tasks[i] = rowTask(i)
+	}
+	queues := sched.Partition(tasks, nq, "q")
+	gpuQueues := queues[:cfg.GPUQueues]
+	cpuQueues := queues[cfg.GPUQueues:]
+
+	// Expose the queues on the tree node so subtree load is observable,
+	// as Listing 1's work_queue links intend.
+	monitors := make([]sched.Monitor, len(queues))
+	for i, q := range queues {
+		monitors[i] = q
+	}
+	lc.Node().Queues = monitors
+
+	runRow := func(t rowTask) {
+		if blk != nil {
+			for tx := 0; tx < tilesPerRow; tx++ {
+				blk.StepTile(int(t), tx)
+			}
+		}
+	}
+
+	// Workers persist across iterations (the paper's persistent GPU
+	// workgroups); a latch per iteration releases them and a WaitGroup
+	// forms the inter-iteration barrier, after which queues are refilled.
+	start := make([]*sim.Latch, cfg.Iters)
+	for i := range start {
+		start[i] = sim.NewLatch(engine)
+	}
+	done := sim.NewWaitGroup(engine)
+	workers := sim.NewWaitGroup(engine)
+
+	for qi := range gpuQueues {
+		workers.Add(1)
+		own := gpuQueues[qi]
+		lc.Spawn(fmt.Sprintf("gpu-wg%d", qi), lc.Node(), func(sub *core.Ctx) error {
+			defer workers.Done()
+			qi := qi
+			for it := 0; it < cfg.Iters; it++ {
+				start[it].Wait(sub.Proc())
+				for {
+					t, ok := own.PopTail()
+					if !ok {
+						// Run dry: steal — from a CPU queue's head first
+						// (the direction §V-E highlights), then from a
+						// sibling GPU queue.
+						if t, ok = stealAcross(cpuQueues, gpuQueues, qi); ok {
+							res.Steals++
+						} else {
+							break
+						}
+					}
+					runRow(t)
+					sub.Proc().Sleep(gpuTaskTime)
+					sub.ChargeGPU(gpuTaskTime)
+					res.TasksByGPU++
+				}
+				done.Done()
+			}
+			return nil
+		})
+	}
+	for qi := range cpuQueues {
+		workers.Add(1)
+		own := cpuQueues[qi]
+		qi := qi
+		lc.Spawn(fmt.Sprintf("cpu-th%d", qi), lc.Node(), func(sub *core.Ctx) error {
+			defer workers.Done()
+			for it := 0; it < cfg.Iters; it++ {
+				start[it].Wait(sub.Proc())
+				for {
+					t, ok := own.PopTail()
+					if !ok {
+						// Dry CPU threads pull from GPU queues (stealing is
+						// "across the CPU and the GPU", §V-E), keeping all
+						// processors busy until the barrier.
+						if t, ok = stealAcross(gpuQueues, cpuQueues, qi); ok {
+							res.Steals++
+						} else {
+							break
+						}
+					}
+					runRow(t)
+					sub.Proc().Sleep(cpuTaskTime)
+					sub.ChargeCPU(cpuTaskTime)
+					res.TasksByCPU++
+				}
+				done.Done()
+			}
+			return nil
+		})
+	}
+
+	for it := 0; it < cfg.Iters; it++ {
+		if it > 0 {
+			// Refill the queues for the next Jacobi step.
+			for i, t := range tasks {
+				queues[i%nq].PushTail(t)
+			}
+		}
+		done.Add(nq)
+		start[it].Fire()
+		done.Wait(lc.Proc())
+		if blk != nil {
+			blk.Swap()
+		}
+	}
+	workers.Wait(lc.Proc())
+	return nil
+}

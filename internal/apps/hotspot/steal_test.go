@@ -1,0 +1,146 @@
+package hotspot
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func newStealRuntime(phantom, withCPU bool) *core.Runtime {
+	e := sim.NewEngine()
+	tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD, StorageMiB: 64,
+		DRAMMiB: 16, WithCPU: withCPU})
+	opts := core.DefaultOptions()
+	opts.Phantom = phantom
+	return core.NewRuntime(e, tree, opts)
+}
+
+// newPaperScaleStealRuntime builds the paper's full-size APU topology
+// (8 GiB of SSD inputs, the 2 GiB staging buffer) in phantom mode.
+func newPaperScaleStealRuntime() *core.Runtime {
+	e := sim.NewEngine()
+	tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD, StorageMiB: 8192,
+		DRAMMiB: 2048, WithCPU: true})
+	opts := core.DefaultOptions()
+	opts.Phantom = true
+	return core.NewRuntime(e, tree, opts)
+}
+
+func TestStealMatchesBlockedReference(t *testing.T) {
+	// The queue-scheduled execution must compute exactly what the simple
+	// kernel path computes: scheduling cannot change results.
+	cfg := StealConfig{M: 64, ChunkDim: 64, Seed: 5, Iters: 4, GPUQueues: 2, Mode: CPUGPU}
+	res, err := RunSteal(newStealRuntime(false, true), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.HotSpotGrid(cfg.M, cfg.Seed)
+	want, err := ReferenceBlocked(g.Temp, g.Power, cfg.M, cfg.ChunkDim, cfg.Iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Temp, want) {
+		t.Fatal("stolen-schedule result differs from blocked reference")
+	}
+	if res.TasksByCPU == 0 || res.TasksByGPU == 0 {
+		t.Fatalf("work not spread: cpu=%d gpu=%d", res.TasksByCPU, res.TasksByGPU)
+	}
+	total := res.TasksByCPU + res.TasksByGPU
+	wantTasks := int64((cfg.M / cfg.ChunkDim) * (cfg.M / cfg.ChunkDim) * cfg.Iters * (cfg.ChunkDim / BlockDim))
+	if total != wantTasks {
+		t.Fatalf("executed %d tasks, want %d", total, wantTasks)
+	}
+}
+
+func TestGPUOnlyMatchesReferenceToo(t *testing.T) {
+	cfg := StealConfig{M: 64, ChunkDim: 32, Seed: 5, Iters: 3, GPUQueues: 8, Mode: GPUOnly}
+	res, err := RunSteal(newStealRuntime(false, false), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.HotSpotGrid(cfg.M, cfg.Seed)
+	want, err := ReferenceBlocked(g.Temp, g.Power, cfg.M, cfg.ChunkDim, cfg.Iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Temp, want) {
+		t.Fatal("GPU-only queue result differs from reference")
+	}
+	if res.TasksByCPU != 0 {
+		t.Fatalf("GPU-only mode ran %d CPU tasks", res.TasksByCPU)
+	}
+	if res.Stats.Breakdown.Busy(trace.CPUCompute) != 0 {
+		t.Fatal("GPU-only mode charged CPU compute")
+	}
+}
+
+func TestStealingImprovesOnGPUOnly(t *testing.T) {
+	// Fig. 11's headline: CPU+GPU work stealing beats GPU-only execution.
+	mk := func(mode StealMode) sim.Time {
+		// The paper's (16k, 8k) configuration, feasible in phantom mode:
+		// 512 row-tasks per chunk over 36 queues give each queue enough
+		// elements for stealing to balance the load (§V-E's requirement
+		// that "the parameter n has to be big enough").
+		cfg := StealConfig{M: 16384, ChunkDim: 8192, Iters: 60, GPUQueues: 32, Mode: mode}
+		res, err := RunSteal(newPaperScaleStealRuntime(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Elapsed
+	}
+	gpuOnly := mk(GPUOnly)
+	stolen := mk(CPUGPU)
+	if stolen >= gpuOnly {
+		t.Fatalf("stealing (%v) not faster than GPU-only (%v)", stolen, gpuOnly)
+	}
+	gain := 1 - float64(stolen)/float64(gpuOnly)
+	if gain < 0.05 || gain > 0.40 {
+		t.Fatalf("stealing gain %.1f%% outside the plausible Fig. 11 band", 100*gain)
+	}
+}
+
+func TestStealsActuallyHappen(t *testing.T) {
+	cfg := StealConfig{M: 512, ChunkDim: 512, Iters: 4, GPUQueues: 4, Mode: CPUGPU}
+	res, err := RunSteal(newStealRuntime(true, true), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steals == 0 {
+		t.Fatal("no steals occurred; CPU queues never relieved")
+	}
+}
+
+func TestMoreQueuesHelp(t *testing.T) {
+	// The paper finds 32 queues best: more resident workgroups hide
+	// latency better.
+	elapsed := func(q int) sim.Time {
+		cfg := StealConfig{M: 1024, ChunkDim: 512, Iters: 60, GPUQueues: q, Mode: GPUOnly}
+		res, err := RunSteal(newStealRuntime(true, false), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Elapsed
+	}
+	t8, t16, t32 := elapsed(8), elapsed(16), elapsed(32)
+	if !(t32 < t16 && t16 < t8) {
+		t.Fatalf("queue scaling not monotone: 8q=%v 16q=%v 32q=%v", t8, t16, t32)
+	}
+}
+
+func TestCPUGPUNeedsCPU(t *testing.T) {
+	cfg := StealConfig{M: 64, ChunkDim: 32, Iters: 1, Mode: CPUGPU}
+	if _, err := RunSteal(newStealRuntime(true, false), cfg); err == nil {
+		t.Fatal("CPU+GPU mode ran without a CPU")
+	}
+}
+
+func TestStealConfigValidation(t *testing.T) {
+	rt := newStealRuntime(true, true)
+	if _, err := RunSteal(rt, StealConfig{M: 100, ChunkDim: 30}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/apps/gemm"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/view"
+	"repro/internal/workload"
+)
+
+// DistributedGEMM computes C = A·B across the cluster: C's rows are
+// partitioned over machines, A row-strips are scattered, B is broadcast,
+// every machine runs a local out-of-core Northup computation on its own
+// tree, and the C strips are gathered back — the classic 1-D decomposition,
+// expressed with the same recursive per-node machinery as the single-node
+// application.
+
+// GEMMConfig parameterizes a distributed multiply.
+type GEMMConfig struct {
+	// N is the (square) matrix dimension; it must divide evenly by the
+	// machine count and the shard sizes.
+	N    int
+	Seed int64
+	// RowShard and ColShard bound the per-machine DRAM blocking (0 = auto
+	// from the staging capacity).
+	RowShard, ColShard int
+}
+
+// GEMMResult reports the distributed run.
+type GEMMResult struct {
+	// C is the assembled row-major product on the root machine (nil in
+	// phantom mode).
+	C []float32
+	// Elapsed is the total virtual time, input distribution and result
+	// gathering included.
+	Elapsed sim.Time
+	// DistributionTime covers scatter+broadcast; GatherTime the collect.
+	DistributionTime, GatherTime sim.Time
+	// ComputeTime is the span of the parallel local-compute phase.
+	ComputeTime sim.Time
+}
+
+// DistributedGEMM runs the decomposition. Machine trees must be
+// storage-rooted with a single staging child (the APU/NVM shapes).
+func DistributedGEMM(cl *Cluster, cfg GEMMConfig) (*GEMMResult, error) {
+	k := cl.Size()
+	n := cfg.N
+	if n <= 0 || n%(k*gemm.TileDim) != 0 {
+		return nil, fmt.Errorf("cluster: N=%d must be a positive multiple of machines*%d", n, gemm.TileDim)
+	}
+	rows := n / k // C rows per machine
+	elems := int64(n) * int64(n)
+	stripBytes := int64(rows) * int64(n) * 4
+
+	root := cl.Machine(0)
+	functional := !root.RT.Phantom()
+
+	// Column-shard width for the broadcast (B is presharded once at the
+	// root, as in the single-node preprocessing).
+	colShard := cfg.ColShard
+	if colShard == 0 {
+		colShard = autoColShard(cl, rows)
+	}
+	if n%colShard != 0 || colShard%gemm.TileDim != 0 {
+		return nil, fmt.Errorf("cluster: column shard %d invalid for N=%d", colShard, n)
+	}
+
+	// Root-machine inputs.
+	var aData, bPre []float32
+	if functional {
+		aData = workload.Dense(n, n, cfg.Seed)
+		bPre = gemm.PreshardB(workload.Dense(n, n, cfg.Seed+1), n, colShard)
+	}
+	rootTree := root.Tree.Root()
+	fA, err := root.RT.CreateInput(rootTree, "dist-A", elems*4, view.F32Bytes(aData))
+	if err != nil {
+		return nil, err
+	}
+	fB, err := root.RT.CreateInput(rootTree, "dist-B", elems*4, view.F32Bytes(bPre))
+	if err != nil {
+		return nil, err
+	}
+	fC, err := root.RT.CreateInput(rootTree, "dist-C", elems*4, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-machine local files.
+	aStrips := make([]*core.Buffer, k)
+	bLocal := make([]*core.Buffer, k)
+	cStrips := make([]*core.Buffer, k)
+	for i := 0; i < k; i++ {
+		m := cl.Machine(i)
+		mr := m.Tree.Root()
+		if aStrips[i], err = m.RT.CreateInput(mr, "dist-a-strip", stripBytes, nil); err != nil {
+			return nil, err
+		}
+		if bLocal[i], err = m.RT.CreateInput(mr, "dist-b-local", elems*4, nil); err != nil {
+			return nil, err
+		}
+		if cStrips[i], err = m.RT.CreateInput(mr, "dist-c-strip", stripBytes, nil); err != nil {
+			return nil, err
+		}
+	}
+	// Row-shard size used by every local run (identical capacities give
+	// identical decisions; computing it once keeps assembly exact).
+	rowShard := cfg.RowShard
+	if rowShard == 0 {
+		free := cl.Machine(0).Tree.Root().Children[0].Mem.Free()
+		for s := rows; s >= gemm.TileDim; s -= gemm.TileDim {
+			if rows%s != 0 {
+				continue
+			}
+			if 4*(int64(s)*int64(n)*2+int64(s)*int64(colShard)) <= free*8/10 {
+				rowShard = s
+				break
+			}
+		}
+		if rowShard == 0 {
+			return nil, fmt.Errorf("cluster: no row shard fits the staging level for N=%d over %d machines", n, k)
+		}
+	}
+	if rows%rowShard != 0 {
+		return nil, fmt.Errorf("cluster: row shard %d does not divide strip of %d rows", rowShard, rows)
+	}
+
+	res := &GEMMResult{}
+
+	elapsed, err := cl.Run("dist-gemm", func(p *sim.Proc) error {
+		t0 := p.Now()
+		// Distribute: scatter A strips (machine 0's slice stays in fA),
+		// broadcast the presharded B.
+		if err := cl.Scatter(p, 0, fA, aStrips, stripBytes); err != nil {
+			return err
+		}
+		if err := cl.Broadcast(p, 0, fB, bLocal); err != nil {
+			return err
+		}
+		res.DistributionTime = p.Now() - t0
+
+		// Parallel local computation.
+		t1 := p.Now()
+		joins := make([]*core.Join, k)
+		for i := 0; i < k; i++ {
+			i := i
+			m := cl.Machine(i)
+			b := bLocal[i]
+			if i == 0 {
+				b = fB // root computes from its original copy
+			}
+			joins[i] = m.RT.Start(fmt.Sprintf("machine%d", i), func(c *core.Ctx) error {
+				return localStripGEMM(c, aStrips[i], b, cStrips[i],
+					rows, n, colShard, rowShard, functional)
+			})
+		}
+		for _, j := range joins {
+			if err := j.WaitOn(p); err != nil {
+				return err
+			}
+		}
+		res.ComputeTime = p.Now() - t1
+
+		// Gather the C strips.
+		t2 := p.Now()
+		if err := cl.Gather(p, 0, cStrips, fC, stripBytes); err != nil {
+			return err
+		}
+		res.GatherTime = p.Now() - t2
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = elapsed
+
+	if functional {
+		// Strips are block-major within each machine's slice; reassemble.
+		raw := make([]float32, elems)
+		if err := fC.File().Peek(view.F32Bytes(raw), 0); err != nil {
+			return nil, err
+		}
+		res.C = assembleStrips(raw, n, k, colShard, rowShard)
+	}
+	return res, nil
+}
+
+// autoColShard picks the largest TileDim multiple that lets one row shard,
+// two column shards and a C block fit the smallest machine's staging level.
+func autoColShard(cl *Cluster, rows int) int {
+	minFree := int64(1) << 62
+	for i := 0; i < cl.Size(); i++ {
+		free := cl.Machine(i).Tree.Root().Children[0].Mem.Free()
+		if free < minFree {
+			minFree = free
+		}
+	}
+	n := rows * cl.Size()
+	for w := n; w >= gemm.TileDim; w -= gemm.TileDim {
+		if n%w != 0 {
+			continue
+		}
+		s := rows
+		if s > w {
+			s = w
+		}
+		need := 4 * (int64(s)*int64(n) + 2*int64(n)*int64(w) + int64(s)*int64(w))
+		if need <= minFree*8/10 {
+			return w
+		}
+	}
+	return gemm.TileDim
+}
+
+// localStripGEMM computes one machine's C strip (rows x n) = A strip
+// (rows x n) · B (n x n, shard-major with width w) out of core: row shards
+// of the strip stream through the staging level, each multiplied against
+// every column shard. C blocks are written block-major into the strip file.
+func localStripGEMM(c *core.Ctx, fa, fb, fc *core.Buffer, rows, n, w, s int, functional bool) error {
+	dram := c.Children()[0]
+	if s <= 0 || rows%s != 0 {
+		return fmt.Errorf("cluster: row shard %d does not divide strip of %d rows", s, rows)
+	}
+	shardBytes := int64(s) * int64(n) * 4
+	colBytes := int64(n) * int64(w) * 4
+	blockBytes := int64(s) * int64(w) * 4
+	nShards := rows / s
+	nCols := n / w
+
+	aBuf, err := c.AllocAt(dram, shardBytes)
+	if err != nil {
+		return err
+	}
+	defer c.Release(aBuf)
+	bBuf, err := c.AllocAt(dram, colBytes)
+	if err != nil {
+		return err
+	}
+	defer c.Release(bBuf)
+	cBuf, err := c.AllocAt(dram, blockBytes)
+	if err != nil {
+		return err
+	}
+	defer c.Release(cBuf)
+
+	for si := 0; si < nShards; si++ {
+		if err := c.MoveDataDown(aBuf, fa, 0, int64(si)*shardBytes, shardBytes); err != nil {
+			return err
+		}
+		for j := 0; j < nCols; j++ {
+			if err := c.MoveDataDown(bBuf, fb, 0, int64(j)*colBytes, colBytes); err != nil {
+				return err
+			}
+			err := c.Descend(dram, func(lc *core.Ctx) error {
+				var cv, av, bv []float32
+				if functional {
+					cv = view.F32(cBuf.Bytes())
+					av = view.F32(aBuf.Bytes())
+					bv = view.F32(bBuf.Bytes())
+				}
+				kern, groups := gemm.TileKernel(cv, av, bv, s, n, w, false)
+				_, kerr := lc.LaunchKernel(kern, groups)
+				return kerr
+			})
+			if err != nil {
+				return err
+			}
+			off := (int64(si)*int64(nCols) + int64(j)) * blockBytes
+			if err := c.MoveDataUp(fc, cBuf, off, 0, blockBytes); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// assembleStrips converts the gathered C file (strip-major, block-major
+// within each strip) back to a row-major n x n matrix.
+func assembleStrips(raw []float32, n, k, w, s int) []float32 {
+	rows := n / k
+	nCols := n / w
+	out := make([]float32, n*n)
+	for bi := 0; bi < k; bi++ {
+		base := bi * rows * n
+		for si := 0; si < rows/s; si++ {
+			for j := 0; j < nCols; j++ {
+				blockBase := base + (si*nCols+j)*s*w
+				for r := 0; r < s; r++ {
+					row := bi*rows + si*s + r
+					copy(out[row*n+j*w:row*n+(j+1)*w],
+						raw[blockBase+r*w:blockBase+(r+1)*w])
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Buffer is the paper's opaque buffer handle (the "void pointer" of Table I
+// and §III-D): space on some tree node, usable with MoveData regardless of
+// whether the node is a file storage, host DRAM, or GPU device memory.
+//
+// For memory-kind nodes the buffer carries a real byte payload (kernels
+// compute on it); for file-backed nodes the payload lives in a simulated
+// file and is only reachable through MoveData — exactly the load/store
+// versus I/O split the unified interface hides.
+type Buffer struct {
+	node *topo.Node
+	size int64
+
+	ext  alloc.Extent  // mem-kind nodes
+	data []byte        // mem-kind nodes: functional payload
+	file *storage.File // file-backed nodes
+
+	released bool
+}
+
+// Node returns the tree node the buffer lives on.
+func (b *Buffer) Node() *topo.Node { return b.node }
+
+// Size returns the buffer's size in bytes.
+func (b *Buffer) Size() int64 { return b.size }
+
+// OnStorage reports whether the buffer is file-backed (I/O access only).
+func (b *Buffer) OnStorage() bool { return b.file != nil }
+
+// Bytes returns the functional payload of a memory-kind buffer. It panics
+// for file-backed buffers: storage content is only reachable via MoveData,
+// as dereferencing a disk address would be on real hardware.
+func (b *Buffer) Bytes() []byte {
+	if b.file != nil {
+		panic(fmt.Sprintf("core: Bytes() on storage buffer %q", b.file.Name()))
+	}
+	return b.data
+}
+
+// File returns the backing file of a storage buffer (nil otherwise);
+// used by preprocessing utilities.
+func (b *Buffer) File() *storage.File { return b.file }
+
+// allocSetupCost models the buffer-creation overhead per device kind:
+// file creation is a metadata operation; clCreateBuffer-style device
+// allocations cost tens of microseconds; host mallocs are cheap.
+func allocSetupCost(k device.Kind) sim.Time {
+	switch {
+	case k.IsFileStore():
+		return sim.Microseconds(150)
+	case k == device.KindGPUMem:
+		return sim.Microseconds(30)
+	default:
+		return sim.Microseconds(2)
+	}
+}
+
+// AllocAt reserves size bytes on node and returns the buffer handle,
+// charging buffer-setup time. This is Table I's alloc(size, tree_node).
+func (rt *Runtime) AllocAt(p *sim.Proc, node *topo.Node, size int64) (*Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("core: alloc %d bytes on %v", size, node)
+	}
+	rt.chargeOverhead(p)
+	cost := allocSetupCost(node.Kind())
+	p.Sleep(cost)
+	rt.bd.Add(trace.BufferSetup, cost)
+
+	b := &Buffer{node: node, size: size}
+	if node.Kind().IsFileStore() {
+		rt.bufSeq++
+		name := fmt.Sprintf("nubuf-%04d", rt.bufSeq)
+		f, err := node.Store.Create(name, size)
+		if err != nil {
+			return nil, err
+		}
+		b.file = f
+		return b, nil
+	}
+	ext, err := rt.allocs[node.ID].Alloc(size)
+	if err != nil {
+		return nil, fmt.Errorf("core: alloc on %v: %w", node, err)
+	}
+	b.ext = ext
+	if !rt.opts.Phantom {
+		b.data = make([]byte, size)
+	}
+	return b, nil
+}
+
+// Release frees the buffer's space (Table I's release). Releasing twice
+// panics: that is always a program bug.
+func (rt *Runtime) Release(p *sim.Proc, b *Buffer) {
+	if b.released {
+		panic("core: double release of buffer")
+	}
+	b.released = true
+	rt.chargeOverhead(p)
+	if b.file != nil {
+		if err := b.node.Store.Remove(b.file.Name()); err != nil {
+			panic(fmt.Sprintf("core: releasing storage buffer: %v", err))
+		}
+		return
+	}
+	rt.allocs[b.node.ID].Free(b.ext)
+	b.data = nil
+}
+
+// WrapFile adopts an existing file (e.g. a preloaded input dataset) as a
+// storage buffer on the file's node, so applications can MoveData from it.
+func (rt *Runtime) WrapFile(node *topo.Node, f *storage.File) *Buffer {
+	if node.Store == nil {
+		panic(fmt.Sprintf("core: WrapFile on non-storage node %v", node))
+	}
+	return &Buffer{node: node, size: f.Size(), file: f}
+}
+
+// Phantom reports whether the runtime is in timing-only mode.
+func (rt *Runtime) Phantom() bool { return rt.opts.Phantom }
+
+// CreateInput creates a file of the given size on a storage node and — in
+// functional mode — preloads it with data, all outside simulated time. It
+// models an input dataset that is already resident on the storage level
+// when measurement begins, the paper's starting condition ("a program
+// starts execution from the storage level", §V-B). In phantom mode data is
+// ignored and may be nil.
+func (rt *Runtime) CreateInput(node *topo.Node, name string, size int64, data []byte) (*Buffer, error) {
+	if node.Store == nil {
+		return nil, fmt.Errorf("core: CreateInput on non-storage node %v", node)
+	}
+	f, err := node.Store.Create(name, size)
+	if err != nil {
+		return nil, err
+	}
+	if !rt.opts.Phantom && data != nil {
+		if err := f.Preload(data, 0); err != nil {
+			return nil, err
+		}
+	}
+	return rt.WrapFile(node, f), nil
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Ctx is the task context of a recursive Northup function: it knows which
+// tree node the task currently executes at and exposes the paper's query
+// and data-management API relative to that node (get_cur_treenode,
+// get_level, get_max_treelevel, data_down/up, northup_spawn, ...).
+type Ctx struct {
+	rt   *Runtime
+	p    *sim.Proc
+	node *topo.Node
+}
+
+// Proc returns the simulation process executing this task.
+func (c *Ctx) Proc() *sim.Proc { return c.p }
+
+// Runtime returns the owning runtime.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// Node returns the current tree node (the paper's get_cur_treenode()).
+func (c *Ctx) Node() *topo.Node { return c.node }
+
+// Level returns the current memory level (get_level()).
+func (c *Ctx) Level() int { return c.node.Level }
+
+// MaxLevel returns the deepest level of the tree (get_max_treelevel()).
+func (c *Ctx) MaxLevel() int { return c.rt.tree.MaxLevel() }
+
+// IsLeaf reports whether execution reached a leaf, the recursion's base
+// case test in Listing 3.
+func (c *Ctx) IsLeaf() bool { return c.node.IsLeaf() }
+
+// Children returns the current node's children (get_children_list()).
+func (c *Ctx) Children() []*topo.Node { return c.node.Children }
+
+// Parent returns the current node's parent (get_parent()).
+func (c *Ctx) Parent() *topo.Node { return c.node.Parent }
+
+// Alloc reserves a buffer on the current node.
+func (c *Ctx) Alloc(size int64) (*Buffer, error) {
+	return c.rt.AllocAt(c.p, c.node, size)
+}
+
+// AllocAt reserves a buffer on an arbitrary node (setup_buffers typically
+// allocates at a child before moving data down to it).
+func (c *Ctx) AllocAt(node *topo.Node, size int64) (*Buffer, error) {
+	return c.rt.AllocAt(c.p, node, size)
+}
+
+// Release frees a buffer.
+func (c *Ctx) Release(b *Buffer) { c.rt.Release(c.p, b) }
+
+// MoveData is the unified move between any two buffers (Table I).
+func (c *Ctx) MoveData(dst, src *Buffer, dstOff, srcOff, n int64) error {
+	return c.rt.MoveData(c.p, dst, src, dstOff, srcOff, n)
+}
+
+// MoveData2D is the strided block variant of MoveData.
+func (c *Ctx) MoveData2D(dst, src *Buffer, dstOff, dstStride, srcOff, srcStride int64, rows, rowBytes int) error {
+	return c.rt.MoveData2D(c.p, dst, src, dstOff, dstStride, srcOff, srcStride, rows, rowBytes)
+}
+
+// MoveDataTransposeF32 is the layout-transforming move of §VI: the block
+// arrives transposed (see Runtime.MoveDataTransposeF32).
+func (c *Ctx) MoveDataTransposeF32(dst, src *Buffer, dstOff, srcOff int64, rows, cols int) error {
+	return c.rt.MoveDataTransposeF32(c.p, dst, src, dstOff, srcOff, rows, cols)
+}
+
+// MoveDataDown moves bytes from a buffer on the current node to a buffer on
+// one of its children (Table I's move_data_down, with the child as
+// destination). It validates the edge so programs cannot silently skip
+// levels.
+func (c *Ctx) MoveDataDown(dst, src *Buffer, dstOff, srcOff, n int64) error {
+	if src.node != c.node || dst.node.Parent != c.node {
+		return fmt.Errorf("core: move_data_down from %v must go to a child of %v (got %v -> %v)",
+			c.node, c.node, src.node, dst.node)
+	}
+	return c.MoveData(dst, src, dstOff, srcOff, n)
+}
+
+// MoveDataUp moves bytes from a buffer on a child of the current node back
+// to a buffer on the current node (Table I's move_data_up).
+func (c *Ctx) MoveDataUp(dst, src *Buffer, dstOff, srcOff, n int64) error {
+	if dst.node != c.node || src.node.Parent != c.node {
+		return fmt.Errorf("core: move_data_up to %v must come from a child of %v (got %v -> %v)",
+			c.node, c.node, src.node, dst.node)
+	}
+	return c.MoveData(dst, src, dstOff, srcOff, n)
+}
+
+// Descend runs fn synchronously as a task at a child node: the recursive
+// call of Listing 3. The child must be a direct child of the current node.
+func (c *Ctx) Descend(child *topo.Node, fn func(*Ctx) error) error {
+	if child.Parent != c.node {
+		return fmt.Errorf("core: descend from %v to non-child %v", c.node, child)
+	}
+	c.rt.chargeOverhead(c.p)
+	return fn(&Ctx{rt: c.rt, p: c.p, node: child})
+}
+
+// Join is the handle of an asynchronously spawned task.
+type Join struct {
+	latch *sim.Latch
+	err   error
+}
+
+// Wait blocks the calling task until the spawned task finishes and returns
+// its error.
+func (j *Join) Wait(c *Ctx) error { return j.WaitOn(c.p) }
+
+// WaitOn is Wait for callers that hold a raw simulation process (cluster
+// coordinators) rather than a task context.
+func (j *Join) WaitOn(p *sim.Proc) error {
+	j.latch.Wait(p)
+	return j.err
+}
+
+// Spawn starts fn as a concurrent task at the given node (the asynchronous
+// form of northup_spawn: chunks moving down different tree branches, or
+// pipelined stages within one branch). The node may be the current node or
+// any other; tree-edge discipline is enforced by the move operations, not
+// by task placement.
+func (c *Ctx) Spawn(name string, node *topo.Node, fn func(*Ctx) error) *Join {
+	c.rt.chargeOverhead(c.p)
+	j := &Join{latch: sim.NewLatch(c.rt.engine)}
+	c.rt.engine.Spawn(name, func(p *sim.Proc) {
+		sub := &Ctx{rt: c.rt, p: p, node: node}
+		j.err = fn(sub)
+		j.latch.Fire()
+	})
+	return j
+}
+
+// ParallelFor executes body for i in [0, n) using up to width concurrent
+// tasks at the current node — the "#pragma for all (m, n)" loop of
+// Listing 3. It returns the first error encountered (remaining iterations
+// are skipped once an error is observed).
+func (c *Ctx) ParallelFor(n, width int, body func(sub *Ctx, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if width < 1 {
+		width = 1
+	}
+	if width > n {
+		width = n
+	}
+	next := 0
+	var firstErr error
+	wg := sim.NewWaitGroup(c.rt.engine)
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		c.Spawn(fmt.Sprintf("%s-pf%d", c.p.Name(), w), c.node, func(sub *Ctx) error {
+			defer wg.Done()
+			for {
+				if firstErr != nil || next >= n {
+					return nil
+				}
+				i := next
+				next++
+				if err := body(sub, i); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		})
+	}
+	wg.Wait(c.p)
+	return firstErr
+}
+
+// Pipeline runs n items through the given stages with bounded buffering:
+// stage s for item i starts only after stage s for item i-1 (stages are
+// in-order) and stage s-1 for item i (dataflow). depth bounds how many items
+// may sit between consecutive stages — the number of in-flight chunk
+// buffers. This is the paper's multi-stage data transfer: "whenever the
+// space of lower memory levels is freed, more chunks can be scheduled for
+// movement" (§III-C), which overlaps I/O, transfers and computation.
+func (c *Ctx) Pipeline(n, depth int, stages ...func(sub *Ctx, i int) error) error {
+	if n <= 0 || len(stages) == 0 {
+		return nil
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	nstages := len(stages)
+	chans := make([]*sim.Chan, nstages-1)
+	for i := range chans {
+		chans[i] = sim.NewChan(c.rt.engine, depth-1)
+	}
+	var firstErr error
+	wg := sim.NewWaitGroup(c.rt.engine)
+	for s := 0; s < nstages; s++ {
+		wg.Add(1)
+		c.Spawn(fmt.Sprintf("%s-stage%d", c.p.Name(), s), c.node, func(sub *Ctx) error {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if s > 0 {
+					if _, ok := chans[s-1].Recv(sub.p); !ok {
+						return nil // upstream aborted
+					}
+				}
+				if firstErr == nil {
+					if err := stages[s](sub, i); err != nil && firstErr == nil {
+						firstErr = err
+					}
+				}
+				if s < nstages-1 {
+					chans[s].Send(sub.p, i)
+				}
+			}
+			if s < nstages-1 {
+				chans[s].Close()
+			}
+			return nil
+		})
+	}
+	wg.Wait(c.p)
+	return firstErr
+}
+
+// Sequential runs n items through the stages strictly in order with no
+// overlap: the baseline a Pipeline is measured against. It has the same
+// signature as Pipeline so callers can switch between them.
+func (c *Ctx) Sequential(n, depth int, stages ...func(sub *Ctx, i int) error) error {
+	_ = depth
+	for i := 0; i < n; i++ {
+		for _, stage := range stages {
+			if err := stage(c, i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GPUModel returns the GPU attached to the current node, or nil.
+func (c *Ctx) GPUModel() *gpu.GPU {
+	if g, ok := c.node.Processor(proc.GPU).(*gpu.GPU); ok {
+		return g
+	}
+	return nil
+}
+
+// CPUModel returns the CPU attached to the current node or — following the
+// paper's CPU-on-non-leaf exception — to any ancestor.
+func (c *Ctx) CPUModel() *proc.CPUModel {
+	return c.throughputProc(proc.CPU)
+}
+
+// PIMModel returns the processor-in-memory attached to the current node or
+// an ancestor (§VI: a PIM is a Northup subtree rooted at its memory node).
+func (c *Ctx) PIMModel() *proc.CPUModel {
+	return c.throughputProc(proc.PIM)
+}
+
+// FPGAModel returns the FPGA attached to the current node's branch, or nil.
+func (c *Ctx) FPGAModel() *proc.FPGAModel {
+	for n := c.node; n != nil; n = n.Parent {
+		if m, ok := n.Processor(proc.FPGA).(*proc.FPGAModel); ok {
+			return m
+		}
+	}
+	return nil
+}
+
+// RunFPGA streams elements through the FPGA pipeline configured with spec,
+// charging reconfiguration when the bitstream changes (§VII: computation
+// is a plug-in; swapping the GPU kernel for a bitstream touches no data
+// movement code).
+func (c *Ctx) RunFPGA(spec proc.BitstreamSpec, elements int64, fn func()) (sim.Time, error) {
+	f := c.FPGAModel()
+	if f == nil {
+		return 0, fmt.Errorf("core: no FPGA at or above %v", c.node)
+	}
+	t, err := f.Run(c.p, spec, elements, fn)
+	if err != nil {
+		return 0, err
+	}
+	c.rt.bd.Add(trace.FPGACompute, t)
+	return t, nil
+}
+
+// throughputProc finds a CPUModel-backed processor of the given kind on
+// the current node's branch: first at the node or its ancestors (the
+// paper's CPU-on-non-leaf exception), then down the first-child chain
+// toward the leaf (trees that attach the host CPU at a deeper staging
+// level, e.g. storage -> NVM -> DRAM+CPU).
+func (c *Ctx) throughputProc(k proc.Kind) *proc.CPUModel {
+	for n := c.node; n != nil; n = n.Parent {
+		if m, ok := n.Processor(k).(*proc.CPUModel); ok {
+			return m
+		}
+	}
+	for n := c.node; n != nil; {
+		if m, ok := n.Processor(k).(*proc.CPUModel); ok {
+			return m
+		}
+		if n.IsLeaf() {
+			break
+		}
+		n = n.Children[0]
+	}
+	return nil
+}
+
+// LaunchKernel dispatches a GPU kernel on the current node's GPU, charging
+// GPU-compute time. It fails when the node has no GPU.
+func (c *Ctx) LaunchKernel(k gpu.Kernel, groups int) (sim.Time, error) {
+	g := c.GPUModel()
+	if g == nil {
+		return 0, fmt.Errorf("core: no GPU at %v", c.node)
+	}
+	c.rt.chargeOverhead(c.p)
+	t, err := g.Launch(c.p, k, groups)
+	if err != nil {
+		return 0, err
+	}
+	c.rt.bd.Add(trace.GPUCompute, t)
+	return t, nil
+}
+
+// RunCPU executes fn functionally and charges one CPU core for the roofline
+// time of (flops, bytes), accounted as CPU compute.
+func (c *Ctx) RunCPU(flops, bytes float64, fn func()) (sim.Time, error) {
+	return c.runThroughput(proc.CPU, trace.CPUCompute, flops, bytes, fn)
+}
+
+// RunCPUParallel executes fn functionally and occupies every CPU core for
+// the data-parallel roofline time (an OpenMP-style parallel region).
+func (c *Ctx) RunCPUParallel(flops, bytes float64, fn func()) (sim.Time, error) {
+	m := c.throughputProc(proc.CPU)
+	if m == nil {
+		return 0, fmt.Errorf("core: no %v at or above %v", proc.CPU, c.node)
+	}
+	t := m.RunParallel(c.p, flops, bytes, fn)
+	c.rt.bd.Add(trace.CPUCompute, t)
+	return t, nil
+}
+
+// RunPIM executes fn functionally on the in-memory processor at or above
+// the current node, spreading the task data-parallel over all PIM units at
+// the memory's internal bandwidth. Running at the data's own node is the
+// point: no move_data to a leaf is needed.
+func (c *Ctx) RunPIM(flops, bytes float64, fn func()) (sim.Time, error) {
+	m := c.throughputProc(proc.PIM)
+	if m == nil {
+		return 0, fmt.Errorf("core: no %v at or above %v", proc.PIM, c.node)
+	}
+	t := m.RunParallel(c.p, flops, bytes, fn)
+	c.rt.bd.Add(trace.PIMCompute, t)
+	return t, nil
+}
+
+func (c *Ctx) runThroughput(k proc.Kind, cat trace.Category, flops, bytes float64, fn func()) (sim.Time, error) {
+	m := c.throughputProc(k)
+	if m == nil {
+		return 0, fmt.Errorf("core: no %v at or above %v", k, c.node)
+	}
+	t := m.Run(c.p, flops, bytes, fn)
+	c.rt.bd.Add(cat, t)
+	return t, nil
+}
+
+// ChargeCPU accounts externally computed CPU time (used by the stealing
+// scheduler, whose workers manage their own functional execution).
+func (c *Ctx) ChargeCPU(t sim.Time) { c.rt.bd.Add(trace.CPUCompute, t) }
+
+// ChargeGPU accounts externally computed GPU time.
+func (c *Ctx) ChargeGPU(t sim.Time) { c.rt.bd.Add(trace.GPUCompute, t) }

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/gpu"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// buildPluginTree builds a leaf carrying both a GPU and an FPGA — the §VII
+// "plug-in" scenario: the same data-movement code feeds either accelerator.
+func buildPluginTree(e *sim.Engine) *topo.Tree {
+	b := topo.NewBuilder(e)
+	root := b.Root(device.SSDProfile(64*device.MiB, 1400, 600))
+	dram := b.Child(root, device.DRAMProfile(8*device.MiB))
+	b.Attach(dram, gpu.APUGPU(e),
+		proc.NewFPGA("stencil-fpga", 250e6, 8, 20e9, 40*sim.Millisecond))
+	return b.MustBuild()
+}
+
+// TestComputePlugInSwap runs an identical out-of-core element-scaling job
+// twice — once with a GPU kernel, once with an FPGA bitstream at the leaf —
+// and verifies that only the compute call differs: the movement code and
+// the functional results are shared verbatim.
+func TestComputePlugInSwap(t *testing.T) {
+	const total = 1 << 20
+	run := func(useFPGA bool) ([]byte, *Runtime) {
+		e := sim.NewEngine()
+		rt := NewRuntime(e, buildPluginTree(e), DefaultOptions())
+		var out []byte
+		_, err := rt.Run("plugin", func(c *Ctx) error {
+			src, err := c.Alloc(total)
+			if err != nil {
+				return err
+			}
+			child := c.Children()[0]
+			buf, err := c.AllocAt(child, total)
+			if err != nil {
+				return err
+			}
+			// Seed functionally through the staging buffer.
+			for i := range buf.Bytes() {
+				buf.Bytes()[i] = byte(i % 97)
+			}
+			if err := c.MoveData(src, buf, 0, 0, total); err != nil {
+				return err
+			}
+			if err := c.MoveDataDown(buf, src, 0, 0, total); err != nil {
+				return err
+			}
+			// The ONLY divergence between the two configurations:
+			err = c.Descend(child, func(lc *Ctx) error {
+				double := func() {
+					bs := buf.Bytes()
+					for i := range bs {
+						bs[i] *= 2
+					}
+				}
+				if useFPGA {
+					_, ferr := lc.RunFPGA(proc.BitstreamSpec{
+						Name: "double", II: 1, BytesPerElement: 2,
+					}, total, double)
+					return ferr
+				}
+				_, kerr := lc.LaunchKernel(gpu.Kernel{
+					Name: "double", FlopsPerGroup: total / 64,
+					BytesPerGroup: 2 * total / 64,
+					Run:           func(g int) {},
+				}, 64)
+				if kerr != nil {
+					return kerr
+				}
+				double()
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if err := c.MoveDataUp(src, buf, 0, 0, total); err != nil {
+				return err
+			}
+			out = append([]byte(nil), buf.Bytes()...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, rt
+	}
+	gpuOut, gpuRT := run(false)
+	fpgaOut, fpgaRT := run(true)
+	for i := range gpuOut {
+		if gpuOut[i] != fpgaOut[i] {
+			t.Fatal("plug-in swap changed results")
+		}
+	}
+	if gpuRT.Breakdown().Busy(trace.GPUCompute) <= 0 {
+		t.Fatal("GPU path not accounted as GPU")
+	}
+	if fpgaRT.Breakdown().Busy(trace.FPGACompute) <= 0 {
+		t.Fatal("FPGA path not accounted as FPGA")
+	}
+	if fpgaRT.Breakdown().Busy(trace.GPUCompute) != 0 {
+		t.Fatal("FPGA path charged GPU time")
+	}
+	// I/O cost is identical: the movement code did not change.
+	if gpuRT.Breakdown().Busy(trace.IO) != fpgaRT.Breakdown().Busy(trace.IO) {
+		t.Fatal("plug-in swap changed data-movement costs")
+	}
+}
+
+func TestRunFPGAWithoutFPGA(t *testing.T) {
+	_, rt := newAPURuntime(t)
+	_, err := rt.Run("nofpga", func(c *Ctx) error {
+		if _, err := c.RunFPGA(proc.BitstreamSpec{Name: "x", II: 1}, 10, nil); err == nil {
+			t.Error("RunFPGA succeeded without an FPGA")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFPGAKeepsBitstreamAcrossChunks pins the reconfiguration economics:
+// many chunks with the same bitstream pay one reconfiguration; alternating
+// bitstreams pay one per switch.
+func TestFPGAKeepsBitstreamAcrossChunks(t *testing.T) {
+	e := sim.NewEngine()
+	rt := NewRuntime(e, buildPluginTree(e), DefaultOptions())
+	var fpga *proc.FPGAModel
+	_, err := rt.Run("chunks", func(c *Ctx) error {
+		child := c.Children()[0]
+		return c.Descend(child, func(lc *Ctx) error {
+			fpga = lc.FPGAModel()
+			for i := 0; i < 5; i++ {
+				if _, err := lc.RunFPGA(proc.BitstreamSpec{Name: "same", II: 1}, 1000, nil); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < 4; i++ {
+				name := "a"
+				if i%2 == 1 {
+					name = "b"
+				}
+				if _, err := lc.RunFPGA(proc.BitstreamSpec{Name: name, II: 2}, 1000, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 (same) + 4 (a,b,a,b) reconfigurations.
+	if got := fpga.Reconfigs(); got != 5 {
+		t.Fatalf("reconfigs = %d, want 5", got)
+	}
+}

@@ -1,0 +1,18 @@
+package core
+
+import "repro/internal/gpu"
+
+// gpuNoopKernel returns a minimal kernel for plumbing tests; ran (if
+// non-nil) observes whether the functional body executed.
+func gpuNoopKernel(ran *bool) gpu.Kernel {
+	return gpu.Kernel{
+		Name:          "noop",
+		FlopsPerGroup: 1e6,
+		BytesPerGroup: 1e3,
+		Run: func(int) {
+			if ran != nil {
+				*ran = true
+			}
+		},
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/xfer"
+)
+
+// This file implements the unified move_data of the paper's Table I and
+// Listing 4: one entry point whose behaviour is chosen by examining the
+// storage types of the source and destination tree nodes — file I/O for
+// storage endpoints, DMA/PCIe transfers for memory endpoints.
+
+// MoveData copies n bytes from src (at srcOff) to dst (at dstOff), charging
+// the device, link and I/O times of whichever path connects the two nodes.
+func (rt *Runtime) MoveData(p *sim.Proc, dst *Buffer, src *Buffer, dstOff, srcOff, n int64) error {
+	if err := checkMove(dst, src, dstOff, srcOff, n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	rt.chargeOverhead(p)
+	if rt.opts.Phantom {
+		return rt.movePhantom(p, dst, src, dstOff, srcOff, n)
+	}
+	start := p.Now()
+	var cat trace.Category
+	var err error
+	switch {
+	case src.file != nil && dst.file == nil:
+		cat = trace.IO
+		err = src.file.ReadAt(p, dst.data[dstOff:dstOff+n], srcOff)
+		if err == nil && dst.node.Kind() == device.KindGPUMem {
+			// GPUDirect-style path: the storage read lands in device memory
+			// through the PCIe link as well.
+			rt.pcie.Transfer(p, nil, dst.node.Mem, n)
+		}
+	case src.file == nil && dst.file != nil:
+		cat = trace.IO
+		if src.node.Kind() == device.KindGPUMem {
+			rt.pcie.Transfer(p, src.node.Mem, nil, n)
+		}
+		err = dst.file.WriteAt(p, src.data[srcOff:srcOff+n], dstOff)
+	case src.file != nil && dst.file != nil:
+		cat = trace.IO
+		tmp := make([]byte, n)
+		if err = src.file.ReadAt(p, tmp, srcOff); err == nil {
+			err = dst.file.WriteAt(p, tmp, dstOff)
+		}
+	default: // memory to memory
+		cat = trace.Transfer
+		copy(dst.data[dstOff:dstOff+n], src.data[srcOff:srcOff+n])
+		rt.link(src, dst).Transfer(p, src.node.Mem, dst.node.Mem, n)
+	}
+	rt.bd.Add(cat, p.Now()-start)
+	return err
+}
+
+// MoveData2D copies a rows x rowBytes block with independent strides on
+// each side — the dCopyBlockH2D/D2H pattern of the paper's Listing 2,
+// subsumed into the unified interface.
+//
+// Strided file accesses are issued row by row (each row is one I/O request,
+// so discontiguous layouts pay per-row latency and seeks); strided
+// memory-to-memory copies use one DMA transfer for the whole block.
+func (rt *Runtime) MoveData2D(p *sim.Proc, dst *Buffer, src *Buffer,
+	dstOff, dstStride, srcOff, srcStride int64, rows int, rowBytes int) error {
+	if rows < 0 || rowBytes < 0 {
+		return fmt.Errorf("core: move2d with negative shape %dx%d", rows, rowBytes)
+	}
+	if rows == 0 || rowBytes == 0 {
+		return nil
+	}
+	if dstStride < 0 || srcStride < 0 {
+		return fmt.Errorf("core: move2d with negative stride")
+	}
+	// Check the first and last rows; with non-negative strides every other
+	// row lies between them.
+	if err := checkMove(dst, src, dstOff, srcOff, int64(rowBytes)); err != nil {
+		return err
+	}
+	if err := checkMove(dst, src,
+		dstOff+int64(rows-1)*dstStride, srcOff+int64(rows-1)*srcStride, int64(rowBytes)); err != nil {
+		return err
+	}
+	rt.chargeOverhead(p)
+	phantom := rt.opts.Phantom
+	start := p.Now()
+	var cat trace.Category
+	var err error
+	switch {
+	case src.file != nil && dst.file == nil:
+		cat = trace.IO
+		for r := 0; r < rows && err == nil; r++ {
+			s := srcOff + int64(r)*srcStride
+			if phantom {
+				err = src.file.Charge(p, device.Read, s, int64(rowBytes))
+				continue
+			}
+			d := dstOff + int64(r)*dstStride
+			err = src.file.ReadAt(p, dst.data[d:d+int64(rowBytes)], s)
+		}
+	case src.file == nil && dst.file != nil:
+		cat = trace.IO
+		for r := 0; r < rows && err == nil; r++ {
+			d := dstOff + int64(r)*dstStride
+			if phantom {
+				err = dst.file.Charge(p, device.Write, d, int64(rowBytes))
+				continue
+			}
+			s := srcOff + int64(r)*srcStride
+			err = dst.file.WriteAt(p, src.data[s:s+int64(rowBytes)], d)
+		}
+	case src.file != nil && dst.file != nil:
+		cat = trace.IO
+		tmp := make([]byte, rowBytes)
+		for r := 0; r < rows && err == nil; r++ {
+			if phantom {
+				if err = src.file.Charge(p, device.Read, srcOff+int64(r)*srcStride, int64(rowBytes)); err == nil {
+					err = dst.file.Charge(p, device.Write, dstOff+int64(r)*dstStride, int64(rowBytes))
+				}
+				continue
+			}
+			if err = src.file.ReadAt(p, tmp, srcOff+int64(r)*srcStride); err == nil {
+				err = dst.file.WriteAt(p, tmp, dstOff+int64(r)*dstStride)
+			}
+		}
+	default:
+		cat = trace.Transfer
+		if !phantom {
+			err = xfer.Copy2D(dst.data, dstOff, dstStride, src.data, srcOff, srcStride, rows, rowBytes)
+		}
+		if err == nil {
+			rt.link(src, dst).Transfer(p, src.node.Mem, dst.node.Mem, int64(rows)*int64(rowBytes))
+			// Non-contiguous layouts pay a per-row descriptor cost on the
+			// DMA path — the reason §VI's layout transformation wins once
+			// data is reused enough.
+			if srcStride != int64(rowBytes) || dstStride != int64(rowBytes) {
+				per := src.node.Mem.Profile().Latency
+				if l := dst.node.Mem.Profile().Latency; l > per {
+					per = l
+				}
+				p.Sleep(sim.Time(rows) * per)
+			}
+		}
+	}
+	rt.bd.Add(cat, p.Now()-start)
+	return err
+}
+
+// movePhantom charges the timing of MoveData without moving bytes.
+func (rt *Runtime) movePhantom(p *sim.Proc, dst, src *Buffer, dstOff, srcOff, n int64) error {
+	start := p.Now()
+	var cat trace.Category
+	var err error
+	switch {
+	case src.file != nil && dst.file == nil:
+		cat = trace.IO
+		err = src.file.Charge(p, device.Read, srcOff, n)
+		if err == nil && dst.node.Kind() == device.KindGPUMem {
+			rt.pcie.Transfer(p, nil, dst.node.Mem, n)
+		}
+	case src.file == nil && dst.file != nil:
+		cat = trace.IO
+		if src.node.Kind() == device.KindGPUMem {
+			rt.pcie.Transfer(p, src.node.Mem, nil, n)
+		}
+		err = dst.file.Charge(p, device.Write, dstOff, n)
+	case src.file != nil && dst.file != nil:
+		cat = trace.IO
+		if err = src.file.Charge(p, device.Read, srcOff, n); err == nil {
+			err = dst.file.Charge(p, device.Write, dstOff, n)
+		}
+	default:
+		cat = trace.Transfer
+		rt.link(src, dst).Transfer(p, src.node.Mem, dst.node.Mem, n)
+	}
+	rt.bd.Add(cat, p.Now()-start)
+	return err
+}
+
+// link selects the interconnect for a memory-to-memory move: PCIe when a
+// GPU device memory is involved, the host DMA engine otherwise.
+func (rt *Runtime) link(src, dst *Buffer) *device.Link {
+	if src.node.Kind() == device.KindGPUMem || dst.node.Kind() == device.KindGPUMem {
+		return rt.pcie
+	}
+	return rt.dma
+}
+
+// checkMove validates handles and ranges common to all move variants.
+func checkMove(dst, src *Buffer, dstOff, srcOff, n int64) error {
+	if dst == nil || src == nil {
+		return fmt.Errorf("core: move with nil buffer")
+	}
+	if dst.released || src.released {
+		return fmt.Errorf("core: move with released buffer")
+	}
+	if n < 0 {
+		return fmt.Errorf("core: move of %d bytes", n)
+	}
+	if srcOff < 0 || srcOff+n > src.size {
+		return fmt.Errorf("core: move source range [%d,%d) outside buffer of %d bytes",
+			srcOff, srcOff+n, src.size)
+	}
+	if dstOff < 0 || dstOff+n > dst.size {
+		return fmt.Errorf("core: move destination range [%d,%d) outside buffer of %d bytes",
+			dstOff, dstOff+n, dst.size)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/gpu"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// buildPIMTree builds §VI's PIM-subtree shape: an SSD root with an NVM
+// node that carries in-memory compute units, and a conventional DRAM+GPU
+// leaf below it.
+func buildPIMTree(e *sim.Engine) *topo.Tree {
+	b := topo.NewBuilder(e)
+	root := b.Root(device.SSDProfile(256*device.MiB, 1400, 600))
+	nvm := b.Child(root, device.NVMProfile(64*device.MiB))
+	// The PIM sees its host memory's full internal bandwidth but has
+	// modest arithmetic.
+	b.Attach(nvm, proc.NewPIM(e, "nvm-pim", 8, 4e9, 6.5e9))
+	dram := b.Child(nvm, device.DRAMProfile(16*device.MiB))
+	b.Attach(dram, gpu.APUGPU(e))
+	return b.MustBuild()
+}
+
+func TestPIMDiscoveryAndAccounting(t *testing.T) {
+	e := sim.NewEngine()
+	rt := NewRuntime(e, buildPIMTree(e), DefaultOptions())
+	ran := false
+	_, err := rt.Run("pim", func(c *Ctx) error {
+		nvm := rt.tree.Node(1)
+		return c.Descend(nvm, func(nc *Ctx) error {
+			if nc.PIMModel() == nil {
+				t.Error("PIM not found at its own node")
+			}
+			_, err := nc.RunPIM(1e6, 1e6, func() { ran = true })
+			return err
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("PIM functional body did not run")
+	}
+	if rt.Breakdown().Busy(trace.PIMCompute) <= 0 {
+		t.Fatal("PIM compute not accounted")
+	}
+	if rt.Breakdown().Busy(trace.CPUCompute) != 0 {
+		t.Fatal("PIM compute misfiled as CPU")
+	}
+}
+
+func TestPIMVisibleFromDescendants(t *testing.T) {
+	// A leaf context can also reach the ancestor PIM (subtree semantics).
+	e := sim.NewEngine()
+	rt := NewRuntime(e, buildPIMTree(e), DefaultOptions())
+	_, err := rt.Run("pim-leaf", func(c *Ctx) error {
+		leaf := rt.tree.Node(2)
+		return c.Spawn("l", leaf, func(lc *Ctx) error {
+			if lc.PIMModel() == nil {
+				t.Error("leaf cannot see ancestor PIM")
+			}
+			return nil
+		}).Wait(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPIMWithoutPIMFails(t *testing.T) {
+	_, rt := newAPURuntime(t)
+	_, err := rt.Run("nopim", func(c *Ctx) error {
+		_, err := c.RunPIM(1, 1, nil)
+		if err == nil {
+			t.Error("RunPIM succeeded without a PIM")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPIMBeatsLeafForBandwidthBoundChunk(t *testing.T) {
+	// The §VI promise: for a streaming (bandwidth-bound, low-arithmetic)
+	// operation over data already resident at the NVM level, computing in
+	// place on the PIM beats moving the chunk down to the GPU leaf and
+	// back — the move costs more than the compute.
+	const chunk = 8 * device.MiB
+	streamBytes := float64(2 * chunk) // read + write one pass
+
+	elapsed := func(usePIM bool) sim.Time {
+		e := sim.NewEngine()
+		rt := NewRuntime(e, buildPIMTree(e), DefaultOptions())
+		nvm := rt.tree.Node(1)
+		dram := rt.tree.Node(2)
+		if _, err := rt.Run("x", func(c *Ctx) error {
+			buf, err := c.AllocAt(nvm, chunk)
+			if err != nil {
+				return err
+			}
+			return c.Descend(nvm, func(nc *Ctx) error {
+				if usePIM {
+					_, err := nc.RunPIM(float64(chunk)/4, streamBytes, nil)
+					return err
+				}
+				// Conventional path: move to the leaf, compute, move back.
+				down, err := nc.AllocAt(dram, chunk)
+				if err != nil {
+					return err
+				}
+				if err := nc.MoveDataDown(down, buf, 0, 0, chunk); err != nil {
+					return err
+				}
+				err = nc.Descend(dram, func(lc *Ctx) error {
+					_, kerr := lc.LaunchKernel(gpu.Kernel{
+						Name:          "stream",
+						FlopsPerGroup: float64(chunk) / 4 / 64,
+						BytesPerGroup: streamBytes / 64,
+					}, 64)
+					return kerr
+				})
+				if err != nil {
+					return err
+				}
+				return nc.MoveDataUp(buf, down, 0, 0, chunk)
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	viaPIM, viaLeaf := elapsed(true), elapsed(false)
+	if viaPIM >= viaLeaf {
+		t.Fatalf("PIM in-place (%v) not faster than move-to-leaf (%v) for streaming work",
+			viaPIM, viaLeaf)
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// DeviceReport renders per-node device activity after a run: traffic, busy
+// time, utilization against the elapsed window, and queueing — the
+// system-level view a performance engineer reads next to the per-category
+// breakdown. The elapsed window is the runtime's recorded total.
+func (rt *Runtime) DeviceReport() string {
+	elapsed := rt.bd.Total()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %10s %10s %12s %6s %9s %12s\n",
+		"node", "read", "written", "busy", "util", "queued", "queue-wait")
+	for _, n := range rt.tree.Nodes() {
+		rb, wb, rt2, wt := n.Mem.Stats()
+		busy := rt2 + wt
+		util := 0.0
+		if elapsed > 0 {
+			util = float64(busy) / float64(elapsed)
+		}
+		_, queued, wait := n.Mem.QueueStats()
+		fmt.Fprintf(&sb, "%-22s %10s %10s %12v %5.1f%% %9d %12v\n",
+			n.String(), fmtMiB(rb), fmtMiB(wb), busy, 100*util, queued, wait)
+	}
+	fmt.Fprintf(&sb, "%-22s %46v\n", "elapsed", elapsed)
+	return sb.String()
+}
+
+// fmtMiB renders a byte count in MiB with one decimal.
+func fmtMiB(n int64) string {
+	return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+}
+
+// Elapsed returns the total recorded by the last Run (zero before any run).
+func (rt *Runtime) Elapsed() sim.Time { return rt.bd.Total() }

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/view"
+	"repro/internal/xfer"
+)
+
+// This file implements the paper's §VI "Data Layout" extension: "when data
+// migrates across memory levels, chunks can be transformed and stored in
+// different formats ... Northup can be easily extended to support this with
+// a special version of move_data()."
+//
+// MoveDataTransposeF32 is that special version for the most common case:
+// a row-major float32 matrix block becomes column-major (or vice versa) as
+// it moves. The transform itself costs one extra read+write pass over the
+// block at the destination device's bandwidth, on top of the normal
+// transfer — the first-order cost of a blocked transpose performed at the
+// destination.
+
+// MoveDataTransposeF32 moves a rows x cols float32 matrix from src (at
+// srcOff bytes, row-major) to dst (at dstOff bytes), storing it transposed
+// (cols x rows, row-major — i.e. column-major layout of the original).
+// Both buffers must live on memory-kind nodes.
+func (rt *Runtime) MoveDataTransposeF32(p *sim.Proc, dst, src *Buffer, dstOff, srcOff int64, rows, cols int) error {
+	n := int64(rows) * int64(cols) * 4
+	if err := checkMove(dst, src, dstOff, srcOff, n); err != nil {
+		return err
+	}
+	if src.file != nil || dst.file != nil {
+		return fmt.Errorf("core: transforming move requires memory endpoints (got %v -> %v)",
+			src.node, dst.node)
+	}
+	if rows <= 0 || cols <= 0 {
+		return fmt.Errorf("core: transforming move of %dx%d block", rows, cols)
+	}
+	rt.chargeOverhead(p)
+	start := p.Now()
+	if !rt.opts.Phantom {
+		sv := view.F32(src.data[srcOff : srcOff+n])
+		dv := view.F32(dst.data[dstOff : dstOff+n])
+		if err := xfer.TransposeF32(dv, sv, rows, cols); err != nil {
+			return err
+		}
+	}
+	// Normal migration cost...
+	rt.link(src, dst).Transfer(p, src.node.Mem, dst.node.Mem, n)
+	// ...plus the reorganization pass at the destination.
+	dst.node.Mem.Access(p, device.Write, dst.ext.Off+dstOff, n)
+	rt.bd.Add(trace.Transfer, p.Now()-start)
+	return nil
+}
+
+// TransposeCostF32 returns the extra virtual time a transforming move adds
+// over a plain move for an n-byte block landing on node's device: useful
+// for the reuse-count break-even analysis of §VI ("layout transformation
+// is beneficial for applications with sufficient data reuse").
+func (rt *Runtime) TransposeCostF32(nodeBuf *Buffer, n int64) sim.Time {
+	prof := nodeBuf.node.Mem.Profile()
+	return prof.Latency + sim.TransferTime(n, prof.WriteBW)
+}

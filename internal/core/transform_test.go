@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/view"
+	"repro/internal/workload"
+)
+
+func TestMoveDataTransposeF32(t *testing.T) {
+	_, rt := newAPURuntime(t)
+	dram := rt.tree.Node(1)
+	const rows, cols = 6, 10
+	src := workload.Dense(rows, cols, 3)
+	_, err := rt.Run("transpose", func(c *Ctx) error {
+		a, err := c.AllocAt(dram, rows*cols*4)
+		if err != nil {
+			return err
+		}
+		bT, err := c.AllocAt(dram, rows*cols*4)
+		if err != nil {
+			return err
+		}
+		copy(view.F32(a.Bytes()), src)
+		if err := c.MoveDataTransposeF32(bT, a, 0, 0, rows, cols); err != nil {
+			return err
+		}
+		got := view.F32(bT.Bytes())
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if got[j*rows+i] != src[i*cols+j] {
+					t.Fatalf("transpose wrong at (%d,%d)", i, j)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformCostsMoreThanPlainMove(t *testing.T) {
+	// §VI's premise: the transforming move costs an extra reorganization
+	// pass; callers should amortize it over reuse.
+	elapsed := func(transform bool) sim.Time {
+		e := sim.NewEngine()
+		tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD, StorageMiB: 256, DRAMMiB: 32})
+		rt := NewRuntime(e, tree, DefaultOptions())
+		dram := rt.tree.Node(1)
+		const rows, cols = 512, 512
+		if _, err := rt.Run("x", func(c *Ctx) error {
+			a, err := c.AllocAt(dram, rows*cols*4)
+			if err != nil {
+				return err
+			}
+			b, err := c.AllocAt(dram, rows*cols*4)
+			if err != nil {
+				return err
+			}
+			if transform {
+				return c.MoveDataTransposeF32(b, a, 0, 0, rows, cols)
+			}
+			return c.MoveData(b, a, 0, 0, rows*cols*4)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	plain, transformed := elapsed(false), elapsed(true)
+	if transformed <= plain {
+		t.Fatalf("transforming move (%v) not costlier than plain (%v)", transformed, plain)
+	}
+}
+
+func TestTransformRejectsStorageEndpoints(t *testing.T) {
+	_, rt := newAPURuntime(t)
+	_, err := rt.Run("bad", func(c *Ctx) error {
+		disk, err := c.Alloc(1024) // root = SSD
+		if err != nil {
+			return err
+		}
+		host, err := c.AllocAt(rt.tree.Node(1), 1024)
+		if err != nil {
+			return err
+		}
+		if err := c.MoveDataTransposeF32(host, disk, 0, 0, 16, 16); err == nil {
+			t.Error("transforming move accepted a storage source")
+		}
+		if err := c.MoveDataTransposeF32(host, host, 0, 0, 0, 16); err == nil {
+			t.Error("degenerate shape accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformPhantomTimingMatches(t *testing.T) {
+	run := func(phantom bool) sim.Time {
+		e := sim.NewEngine()
+		tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD, StorageMiB: 64, DRAMMiB: 16})
+		opts := DefaultOptions()
+		opts.Phantom = phantom
+		rt := NewRuntime(e, tree, opts)
+		dram := rt.tree.Node(1)
+		if _, err := rt.Run("x", func(c *Ctx) error {
+			a, err := c.AllocAt(dram, 256*256*4)
+			if err != nil {
+				return err
+			}
+			b, err := c.AllocAt(dram, 256*256*4)
+			if err != nil {
+				return err
+			}
+			return c.MoveDataTransposeF32(b, a, 0, 0, 256, 256)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	if run(false) != run(true) {
+		t.Fatal("phantom transform timing diverged from functional")
+	}
+}

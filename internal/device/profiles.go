@@ -1,0 +1,116 @@
+package device
+
+import "repro/internal/sim"
+
+// This file is the single calibration point for the reproduction: every
+// figure harness builds its devices from these constructors. The constants
+// follow §V-A of the paper and public specifications of the named parts.
+
+// Byte-size constants.
+const (
+	KiB = int64(1) << 10
+	MiB = int64(1) << 20
+	GiB = int64(1) << 30
+
+	// MBps converts the paper's "MB/s" figures to bytes/second.
+	MBps = 1e6
+	// GBps is 1e9 bytes/second.
+	GBps = 1e9
+)
+
+// HDDProfile models the paper's SATA Western Digital WD5000AAKX drive:
+// ~125 MB/s sustained sequential transfer, 7200 RPM (4.2 ms half-rotation),
+// 8.9 ms average seek. The SeekTime constant folds rotational latency into
+// the seek penalty, charged whenever an access is discontiguous.
+func HDDProfile(capacity int64) Profile {
+	return Profile{
+		Name:     "hdd",
+		Kind:     KindHDD,
+		Capacity: capacity,
+		ReadBW:   125 * MBps,
+		WriteBW:  120 * MBps,
+		Latency:  sim.Microseconds(100),  // controller + syscall path
+		SeekTime: sim.Milliseconds(13.1), // 8.9 ms seek + 4.2 ms rotation
+	}
+}
+
+// SSDProfile models a PCIe SSD with the given sequential read/write
+// bandwidths in MB/s. The paper's HyperX Predator baseline is (1400, 600);
+// §V-D sweeps up to (3500, 2100).
+func SSDProfile(capacity int64, readMBps, writeMBps float64) Profile {
+	return Profile{
+		Name:     "ssd",
+		Kind:     KindSSD,
+		Capacity: capacity,
+		ReadBW:   readMBps * MBps,
+		WriteBW:  writeMBps * MBps,
+		Latency:  sim.Microseconds(60),
+	}
+}
+
+// NVMProfile models byte-addressable non-volatile memory (§VI "Northup for
+// HPC" positions NVM as a per-node slow-memory level above SSD speed).
+func NVMProfile(capacity int64) Profile {
+	return Profile{
+		Name:     "nvm",
+		Kind:     KindNVM,
+		Capacity: capacity,
+		ReadBW:   6.5 * GBps,
+		WriteBW:  2.3 * GBps,
+		Latency:  sim.Microseconds(1),
+	}
+}
+
+// DRAMProfile models the host DRAM staging buffer (2 GiB in the paper's
+// out-of-core runs, 16 GiB for in-memory baselines).
+func DRAMProfile(capacity int64) Profile {
+	return Profile{
+		Name:        "dram",
+		Kind:        KindMem,
+		Capacity:    capacity,
+		ReadBW:      20 * GBps,
+		WriteBW:     20 * GBps,
+		Latency:     sim.Microseconds(0.1),
+		Parallelism: 2, // dual channel
+	}
+}
+
+// HBMProfile models die-stacked DRAM used as a fast software-managed level.
+func HBMProfile(capacity int64) Profile {
+	return Profile{
+		Name:        "hbm",
+		Kind:        KindHBM,
+		Capacity:    capacity,
+		ReadBW:      250 * GBps,
+		WriteBW:     250 * GBps,
+		Latency:     sim.Microseconds(0.08),
+		Parallelism: 8,
+	}
+}
+
+// GPUMemProfile models a discrete GPU's device memory (FirePro W9100-class:
+// 16 GiB GDDR5 at 320 GB/s).
+func GPUMemProfile(capacity int64) Profile {
+	return Profile{
+		Name:        "gpumem",
+		Kind:        KindGPUMem,
+		Capacity:    capacity,
+		ReadBW:      320 * GBps,
+		WriteBW:     320 * GBps,
+		Latency:     sim.Microseconds(0.2),
+		Parallelism: 8,
+	}
+}
+
+// PCIeLink creates the host-to-device interconnect used for OpenCL
+// H2D/D2H block transfers (PCIe 3.0 x16-class, ~12 GB/s effective, with a
+// per-transfer launch cost that penalizes fine-grained copies).
+func PCIeLink(e *sim.Engine) *Link {
+	return NewLink(e, "pcie", 12*GBps, sim.Microseconds(10), 2)
+}
+
+// DMALink creates the engine used for memory-to-memory staging copies within
+// the host (bounded by DRAM bandwidth itself, so the link is fast).
+func DMALink(e *sim.Engine) *Link {
+	return NewLink(e, "dma", 40*GBps, sim.Microseconds(0.5), 2)
+}

@@ -1,0 +1,69 @@
+package emulator
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// I/O-trace persistence: a recorded run's accesses serialize to JSON lines,
+// so projections (and offline analysis) can run long after the simulation —
+// the workflow the paper's emulator implies (record once, sweep many
+// bandwidth hypotheses).
+
+// jsonRecord is the serialized form of one access.
+type jsonRecord struct {
+	Device string `json:"device"`
+	Op     string `json:"op"`
+	Bytes  int64  `json:"bytes"`
+	Seek   bool   `json:"seek,omitempty"`
+	TimeNS int64  `json:"time_ns"`
+}
+
+// WriteJSON streams the trace as one JSON object per line.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range t.records {
+		jr := jsonRecord{
+			Device: r.Device, Op: r.Op.String(), Bytes: r.Bytes,
+			Seek: r.Seek, TimeNS: int64(r.Time),
+		}
+		if err := enc.Encode(&jr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON reconstructs a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var jr jsonRecord
+		if err := dec.Decode(&jr); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("emulator: decoding trace: %w", err)
+		}
+		op := device.Read
+		switch jr.Op {
+		case "read":
+		case "write":
+			op = device.Write
+		default:
+			return nil, fmt.Errorf("emulator: unknown op %q", jr.Op)
+		}
+		if jr.Bytes < 0 || jr.TimeNS < 0 {
+			return nil, fmt.Errorf("emulator: negative record %+v", jr)
+		}
+		t.Record(device.IORecord{Device: jr.Device, Op: op, Bytes: jr.Bytes,
+			Seek: jr.Seek, Time: sim.Time(jr.TimeNS)})
+	}
+	return t, nil
+}

@@ -1,0 +1,114 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// CSV renderings of every figure, for piping into plotting tools. Each
+// returns a header line followed by one row per data point.
+
+// CSV renders Figure 6 as app,storage,elapsed_s,normalized.
+func (r *Fig6Result) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("app,storage,elapsed_s,normalized\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%s,%s,%.6f,%.4f\n",
+			row.App, row.Storage, row.Elapsed.Seconds(), row.Normalized)
+	}
+	return sb.String()
+}
+
+// CSV renders Figure 7 as app,storage,<category shares...>.
+func (r *Fig7Result) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("app,storage")
+	for _, c := range trace.Categories {
+		fmt.Fprintf(&sb, ",%s", c)
+	}
+	sb.WriteByte('\n')
+	for _, app := range Apps {
+		for _, store := range []Storage{HDD, SSD} {
+			fmt.Fprintf(&sb, "%s,%s", app, store)
+			row := r.Fig6.Row(app, store)
+			for _, c := range trace.Categories {
+				fmt.Fprintf(&sb, ",%.4f", row.Breakdown.Fraction(c))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// CSV renders Figure 8 as app,<category shares...>.
+func (r *Fig8Result) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("app")
+	for _, c := range trace.Categories {
+		fmt.Fprintf(&sb, ",%s", c)
+	}
+	sb.WriteByte('\n')
+	for _, m := range r.Rows {
+		fmt.Fprintf(&sb, "%s", m.App)
+		for _, c := range trace.Categories {
+			fmt.Fprintf(&sb, ",%.4f", m.Breakdown.Fraction(c))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CSV renders Figure 9 as app,ssd,io_norm,projected_norm,native_norm,
+// inmem_delta.
+func (r *Fig9Result) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("app,ssd,io_norm,projected_norm,native_norm,inmem_delta\n")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "%s,%s,%.4f,%.4f,%.4f,%.4f\n",
+				s.App, p.Target, p.IONorm, p.ProjectedNorm, p.NativeNorm, s.InMemDelta)
+		}
+	}
+	return sb.String()
+}
+
+// CSV renders Figure 11 as m,n,queues,gpu_only_s,cpu_gpu_s,speedup,steals,
+// cpu_share.
+func (r *Fig11Result) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("m,n,queues,gpu_only_s,cpu_gpu_s,speedup,steals,cpu_share\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&sb, "%d,%d,%d,%.6f,%.6f,%.4f,%d,%.4f\n",
+			c.Input.M, c.Input.N, c.Queues,
+			c.GPUOnly.Seconds(), c.Stolen.Seconds(), c.Speedup, c.Steals, c.CPUShare)
+	}
+	return sb.String()
+}
+
+// CSV renders the overhead measurement as app,runtime_fraction.
+func (r *OverheadResult) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("app,runtime_fraction\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%s,%.6f\n", row.App, row.Fraction)
+	}
+	return sb.String()
+}
+
+// Renderer is satisfied by every figure result: a human table (String) and
+// a machine form (CSV).
+type Renderer interface {
+	fmt.Stringer
+	CSV() string
+}
+
+var (
+	_ Renderer = (*Fig6Result)(nil)
+	_ Renderer = (*Fig7Result)(nil)
+	_ Renderer = (*Fig8Result)(nil)
+	_ Renderer = (*Fig9Result)(nil)
+	_ Renderer = (*Fig11Result)(nil)
+	_ Renderer = (*OverheadResult)(nil)
+)

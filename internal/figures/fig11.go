@@ -1,0 +1,127 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps/hotspot"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Fig11Input is one (m, n) input point of Figure 11: m is the square input
+// dimension on the SSD, n the chunk dimension loaded into main memory.
+type Fig11Input struct{ M, N int }
+
+// paperFig11Inputs are the three input points the paper sweeps.
+var paperFig11Inputs = []Fig11Input{
+	{16384, 4096},
+	{16384, 8192},
+	{32768, 8192},
+}
+
+// Fig11QueueCounts are the GPU queue counts the paper experiments with.
+var Fig11QueueCounts = []int{8, 16, 32}
+
+// Fig11Cell is one bar: an input point and queue count, with CPU+GPU
+// stealing performance normalized to GPU-only execution at the same
+// configuration (the figure's y-axis; > 1 means stealing is faster).
+type Fig11Cell struct {
+	Input    Fig11Input
+	Queues   int
+	GPUOnly  sim.Time
+	Stolen   sim.Time
+	Speedup  float64 // GPUOnly / Stolen
+	Steals   int64
+	CPUShare float64 // fraction of tasks the CPU executed
+}
+
+// Fig11Result carries the full sweep.
+type Fig11Result struct {
+	Cells []Fig11Cell
+}
+
+// Fig11 regenerates the §V-E load-balancing study: HotSpot-2D on the APU
+// (CPU+GPU at the leaf, SSD root), queue-based leaf scheduling, stealing
+// versus GPU-only.
+func Fig11(o Options) (*Fig11Result, error) {
+	o, err := o.norm()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{}
+	for _, in := range paperFig11Inputs {
+		m := in.M / o.Scale
+		n := in.N / o.Scale
+		for _, q := range Fig11QueueCounts {
+			gpuOnly, _, err := o.runSteal(m, n, q, hotspot.GPUOnly)
+			if err != nil {
+				return nil, err
+			}
+			stolen, sres, err := o.runSteal(m, n, q, hotspot.CPUGPU)
+			if err != nil {
+				return nil, err
+			}
+			total := sres.TasksByCPU + sres.TasksByGPU
+			cell := Fig11Cell{
+				Input: in, Queues: q,
+				GPUOnly: gpuOnly, Stolen: stolen,
+				Speedup: float64(gpuOnly) / float64(stolen),
+				Steals:  sres.Steals,
+			}
+			if total > 0 {
+				cell.CPUShare = float64(sres.TasksByCPU) / float64(total)
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+// runSteal executes one stealing configuration. The storage holds the m x m
+// grid; the 2 GiB staging level receives n x n chunks.
+func (o Options) runSteal(m, n, queues int, mode hotspot.StealMode) (sim.Time, *hotspot.StealResult, error) {
+	e := sim.NewEngine()
+	opts := core.DefaultOptions()
+	opts.Phantom = true
+	// The 32k input needs a larger store; capacities follow the input.
+	storeMiB := int64(5 * (int64(m) * int64(m) * 4 / (1 << 20)))
+	if storeMiB < 64 {
+		storeMiB = 64
+	}
+	tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD,
+		StorageMiB: storeMiB, DRAMMiB: o.stageMiB(), WithCPU: true})
+	rt := core.NewRuntime(e, tree, opts)
+	res, err := hotspot.RunSteal(rt, hotspot.StealConfig{
+		M: m, ChunkDim: n, Iters: hotspotIters, GPUQueues: queues, Mode: mode,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Stats.Elapsed, res, nil
+}
+
+// Cell returns the cell for (input, queues).
+func (r *Fig11Result) Cell(in Fig11Input, queues int) Fig11Cell {
+	for _, c := range r.Cells {
+		if c.Input == in && c.Queues == queues {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("figures: no Fig11 cell for %v q=%d", in, queues))
+}
+
+// String renders the sweep.
+func (r *Fig11Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11: HotSpot-2D CPU+GPU work stealing vs GPU-only (speedup > 1 is better)\n")
+	fmt.Fprintf(&sb, "%-14s %7s %10s %10s %9s %8s %9s\n",
+		"input (m,n)", "queues", "gpu-only", "cpu+gpu", "speedup", "steals", "cpu-share")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&sb, "(%5d,%5d) %7d %10v %10v %8.2fx %8d %8.1f%%\n",
+			c.Input.M, c.Input.N, c.Queues, c.GPUOnly, c.Stolen,
+			c.Speedup, c.Steals, 100*c.CPUShare)
+	}
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Fig8Result carries the 3-level discrete-GPU breakdown of Figure 8: the
+// tree is GPU device memory <- main memory <- disk drive, and the quantity
+// the paper highlights is the share of "OpenCL transfers" (PCIe traffic
+// between host and device memory).
+type Fig8Result struct {
+	Rows []Measurement
+}
+
+// Fig8 regenerates Figure 8: all three applications on the 3-level tree.
+//
+// The paper's caption says the root is the disk drive, but its quoted
+// transfer shares (7/12/33%) are only reachable when storage I/O does not
+// swamp the breakdown — at the WD5000AAKX's 125 MB/s it necessarily would
+// (I/O moves the same bytes as PCIe at 1/100th the bandwidth). This driver
+// therefore uses the SSD root by default and reports the disk variant too;
+// EXPERIMENTS.md discusses the discrepancy.
+func Fig8(o Options) (*Fig8Result, error) {
+	return fig8On(o, SSD)
+}
+
+// Fig8Disk is the literal-caption variant with the disk-drive root.
+func Fig8Disk(o Options) (*Fig8Result, error) {
+	return fig8On(o, HDD)
+}
+
+func fig8On(o Options, store Storage) (*Fig8Result, error) {
+	o, err := o.norm()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{}
+	for _, app := range Apps {
+		rt := o.newDiscreteRuntime(store)
+		m, err := runApp(app, store, rt, o)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, m)
+	}
+	return res, nil
+}
+
+// TransferShare returns the PCIe-transfer fraction for an app, the number
+// the paper quotes as 7% / 12% / 33%.
+func (r *Fig8Result) TransferShare(app App) float64 {
+	for _, m := range r.Rows {
+		if m.App == app {
+			return m.Breakdown.Fraction(trace.Transfer)
+		}
+	}
+	panic(fmt.Sprintf("figures: no Fig8 row for %v", app))
+}
+
+// String renders the stacked-bar data of Figure 8.
+func (r *Fig8Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8: execution breakdown, 3-level discrete-GPU tree (% of busy time)\n")
+	fmt.Fprintf(&sb, "%-14s", "app")
+	for _, c := range trace.Categories {
+		fmt.Fprintf(&sb, " %9s", c)
+	}
+	sb.WriteByte('\n')
+	for _, m := range r.Rows {
+		fmt.Fprintf(&sb, "%-14s", m.App)
+		for _, c := range trace.Categories {
+			fmt.Fprintf(&sb, " %8.1f%%", 100*m.Breakdown.Fraction(c))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,149 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/emulator"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Fig9Point is one x-position of Figure 9 for one application: a projected
+// (read/write) SSD bandwidth.
+type Fig9Point struct {
+	Target emulator.Target
+	// IONorm is projected I/O time normalized to the 1400/600 baseline
+	// (the paper's "I/O performance" series, inverted: smaller is better).
+	IONorm float64
+	// ProjectedNorm is the paper's first-order overall projection
+	// (total - f*oldIO + f*newIO, with f the measured critical fraction).
+	ProjectedNorm float64
+	// NativeNorm re-runs the full simulation with the target bandwidths —
+	// a validation of the first-order projection that the paper could not
+	// perform without the hardware.
+	NativeNorm float64
+}
+
+// Fig9Series is one application's sweep.
+type Fig9Series struct {
+	App App
+	// InMemDelta is the in-memory runtime normalized to the 1400/600
+	// baseline: the Δ reference points of the paper's figure.
+	InMemDelta float64
+	// CriticalFraction is the measured share of I/O time on the critical
+	// path used by the projection.
+	CriticalFraction float64
+	Points           []Fig9Point
+}
+
+// Fig9Result carries all three applications' sweeps.
+type Fig9Result struct {
+	Series []Fig9Series
+}
+
+// Fig9 regenerates the §V-D faster-storage study: the baseline SSD run is
+// traced; the emulator projects its I/O under faster bandwidths; and a
+// native re-simulation cross-checks each projection.
+func Fig9(o Options) (*Fig9Result, error) {
+	o, err := o.norm()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{}
+	targets := emulator.PaperSweep()
+	for _, app := range Apps {
+		// Baseline (1400/600) with the I/O trace attached.
+		rt := o.newRuntime(SSD, true)
+		tr := &emulator.Trace{}
+		detach := tr.Attach(rt.Tree().Root().Mem)
+		base, err := runApp(app, SSD, rt, o)
+		detach()
+		if err != nil {
+			return nil, err
+		}
+		// In-memory Δ reference.
+		imRT := o.newRuntime(InMemory, true)
+		im, err := runApp(app, InMemory, imRT, o)
+		if err != nil {
+			return nil, err
+		}
+		// Critical fraction: how much of the I/O time was not hidden
+		// behind the dominant compute component.
+		ioBusy := base.Breakdown.Busy(trace.IO)
+		computeBusy := base.Breakdown.Busy(trace.GPUCompute) + base.Breakdown.Busy(trace.CPUCompute)
+		f := 1.0
+		if ioBusy > 0 {
+			f = float64(base.Elapsed-computeBusy) / float64(ioBusy)
+		}
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+
+		series := Fig9Series{App: app, CriticalFraction: f,
+			InMemDelta: float64(im.Elapsed) / float64(base.Elapsed)}
+		baseIO := projectIO(tr, targets[0])
+		for _, tg := range targets {
+			proj := tr.Project(tg, base.Elapsed, f)
+			native, err := o.nativeRerun(app, tg)
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, Fig9Point{
+				Target:        tg,
+				IONorm:        float64(proj.IOTime) / float64(baseIO),
+				ProjectedNorm: float64(proj.Total) / float64(base.Elapsed),
+				NativeNorm:    float64(native) / float64(base.Elapsed),
+			})
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// projectIO returns the projected I/O time of the trace on a target.
+func projectIO(tr *emulator.Trace, tg emulator.Target) sim.Time {
+	return tr.Project(tg, 0, 0).IOTime
+}
+
+// nativeRerun executes the application on a tree whose SSD actually has the
+// target bandwidths.
+func (o Options) nativeRerun(app App, tg emulator.Target) (sim.Time, error) {
+	o2 := o
+	o2.SSDRead, o2.SSDWrite = tg.ReadMBps, tg.WriteMBps
+	rt := o2.newRuntime(SSD, true)
+	m, err := runApp(app, SSD, rt, o2)
+	if err != nil {
+		return 0, err
+	}
+	return m.Elapsed, nil
+}
+
+// SeriesFor returns the sweep for an app.
+func (r *Fig9Result) SeriesFor(app App) Fig9Series {
+	for _, s := range r.Series {
+		if s.App == app {
+			return s
+		}
+	}
+	panic(fmt.Sprintf("figures: no Fig9 series for %v", app))
+}
+
+// String renders the sweep as normalized series (1400/600 = 1.0).
+func (r *Fig9Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 9: faster-storage projection (normalized to 1400/600 SSD)\n")
+	for _, s := range r.Series {
+		fmt.Fprintf(&sb, "%s  (in-memory Δ = %.2f, critical I/O fraction %.2f)\n",
+			s.App, s.InMemDelta, s.CriticalFraction)
+		fmt.Fprintf(&sb, "  %-10s %10s %12s %10s\n", "ssd", "io", "projected", "native")
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "  %-10s %10.2f %12.2f %10.2f\n",
+				p.Target, p.IONorm, p.ProjectedNorm, p.NativeNorm)
+		}
+	}
+	return sb.String()
+}

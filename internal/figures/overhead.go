@@ -1,0 +1,64 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// OverheadRow reports the runtime-bookkeeping share for one application on
+// the SSD tree — the paper's §V-B claim is that this stays below 1% of the
+// total execution time at the chosen blocking sizes.
+type OverheadRow struct {
+	App App
+	// Fraction is runtime busy time over elapsed time.
+	Fraction float64
+}
+
+// OverheadResult carries all applications' overhead measurements.
+type OverheadResult struct {
+	Rows []OverheadRow
+}
+
+// Overhead regenerates the §V-B runtime-overhead measurement.
+func Overhead(o Options) (*OverheadResult, error) {
+	o, err := o.norm()
+	if err != nil {
+		return nil, err
+	}
+	res := &OverheadResult{}
+	for _, app := range Apps {
+		rt := o.newRuntime(SSD, true)
+		m, err := runApp(app, SSD, rt, o)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, OverheadRow{
+			App:      app,
+			Fraction: m.Breakdown.FractionOfTotal(trace.Runtime),
+		})
+	}
+	return res, nil
+}
+
+// Max returns the largest overhead fraction.
+func (r *OverheadResult) Max() float64 {
+	mx := 0.0
+	for _, row := range r.Rows {
+		if row.Fraction > mx {
+			mx = row.Fraction
+		}
+	}
+	return mx
+}
+
+// String renders the measurement.
+func (r *OverheadResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Runtime overhead (§V-B; paper claims <1% of total execution)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-14s %6.3f%%\n", row.App, 100*row.Fraction)
+	}
+	return sb.String()
+}

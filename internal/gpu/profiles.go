@@ -1,0 +1,52 @@
+package gpu
+
+import (
+	"repro/internal/device"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// APUGPU models the integrated GPU of the paper's A10-7850K/7860K-class APU:
+// 8 GCN compute units sharing the host memory system. Sustained arithmetic
+// is derated from the ~740 GFLOP/s peak.
+func APUGPU(e *sim.Engine) *GPU {
+	return New(e, Model{
+		Name:          "apu-gpu",
+		CUs:           8,
+		FLOPS:         500e9,
+		MemBW:         22e9, // shares the dual-channel DDR3 system bus
+		GroupsPerCU:   4,
+		LocalMemPerCU: 64 * device.KiB,
+		LaunchLatency: sim.Microseconds(20),
+	})
+}
+
+// DiscreteGPU models the FirePro W9100: 44 CUs, 16 GiB GDDR5 at 320 GB/s,
+// 5.24 TFLOP/s peak derated by the ~80%-of-peak GEMM efficiency the paper's
+// baseline kernel achieves.
+func DiscreteGPU(e *sim.Engine) *GPU {
+	return New(e, Model{
+		Name:          "w9100",
+		CUs:           44,
+		FLOPS:         4.2e12,
+		MemBW:         320e9,
+		GroupsPerCU:   4,
+		LocalMemPerCU: 64 * device.KiB,
+		LaunchLatency: sim.Microseconds(25),
+	})
+}
+
+// APUCPU models the CPU side of the APU: 4 cores. Its effective streaming
+// throughput is calibrated to ~1/3.5 of the integrated GPU's on stencil
+// work. (The paper quotes Rodinia's 8x GPU speedup for HotSpot, measured
+// against a discrete-GPU setup; on an APU, where CPU and GPU share the same
+// DDR3 channels, the gap is necessarily smaller — and the ~24% work-stealing
+// gain of Fig. 11 is only reachable if the CPU contributes roughly 1/4 of
+// the combined throughput, i.e. ~1/3.5 of the GPU's.)
+func APUCPU(e *sim.Engine) *proc.CPUModel {
+	return proc.NewCPU(e, "apu-cpu",
+		4,    // cores
+		12e9, // per-core sustained FLOP/s
+		6e9,  // effective aggregate streaming bandwidth (bytes/s)
+		4*device.MiB)
+}

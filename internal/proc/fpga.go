@@ -1,0 +1,105 @@
+package proc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// FPGAModel is a reconfigurable accelerator: once configured with a
+// bitstream for one kernel, it processes elements through a deep pipeline
+// at a fixed initiation interval — extremely efficient for the configured
+// computation, useless for anything else until reconfigured (which costs
+// milliseconds). The paper's abstraction treats FPGAs as first-class leaf
+// processors ("computation can be a standalone plug in ... regardless of
+// which acceleration approach to use (FPGA, GPU, and other many-core
+// processors)", §VII); this model makes that trade-off concrete.
+type FPGAModel struct {
+	Name string
+	// ClockHz is the fabric clock.
+	ClockHz float64
+	// Lanes is how many pipeline instances fit the fabric.
+	Lanes int
+	// ReconfigTime is the cost of loading a new bitstream.
+	ReconfigTime sim.Time
+	// MemBW bounds streaming throughput from the attached memory.
+	MemBW float64
+
+	configured string
+	reconfigs  int64
+	busy       sim.Time
+}
+
+// NewFPGA builds an FPGA model bound (implicitly) to its leaf memory.
+func NewFPGA(name string, clockHz float64, lanes int, membw float64, reconfig sim.Time) *FPGAModel {
+	if lanes < 1 || clockHz <= 0 {
+		panic("proc: underspecified FPGA")
+	}
+	return &FPGAModel{Name: name, ClockHz: clockHz, Lanes: lanes,
+		MemBW: membw, ReconfigTime: reconfig}
+}
+
+// ProcName implements Processor.
+func (f *FPGAModel) ProcName() string { return f.Name }
+
+// ProcKind implements Processor.
+func (f *FPGAModel) ProcKind() Kind { return FPGA }
+
+// LLCSize implements Processor: on-fabric BRAM, the software/hardware
+// management boundary at an FPGA leaf.
+func (f *FPGAModel) LLCSize() int64 { return 4 << 20 }
+
+var _ Processor = (*FPGAModel)(nil)
+
+// Configured returns the currently loaded bitstream name ("" when blank).
+func (f *FPGAModel) Configured() string { return f.configured }
+
+// Reconfigs returns how many bitstream loads have been charged.
+func (f *FPGAModel) Reconfigs() int64 { return f.reconfigs }
+
+// BitstreamSpec describes one configured computation: elements emerge from
+// the pipeline every II cycles per lane, each element touching the given
+// bytes of memory traffic.
+type BitstreamSpec struct {
+	Name string
+	// II is the initiation interval in cycles (1 = fully pipelined).
+	II int
+	// BytesPerElement bounds the memory side.
+	BytesPerElement float64
+}
+
+// Run streams `elements` through the configured pipeline, charging
+// reconfiguration first if a different bitstream is loaded. The functional
+// body fn (may be nil) executes on the host, as with the other processor
+// models.
+func (f *FPGAModel) Run(p *sim.Proc, spec BitstreamSpec, elements int64, fn func()) (sim.Time, error) {
+	if spec.Name == "" || spec.II < 1 {
+		return 0, fmt.Errorf("proc: invalid bitstream %+v", spec)
+	}
+	var total sim.Time
+	if f.configured != spec.Name {
+		p.Sleep(f.ReconfigTime)
+		f.configured = spec.Name
+		f.reconfigs++
+		total += f.ReconfigTime
+	}
+	if fn != nil {
+		fn()
+	}
+	// Pipeline throughput: lanes elements per II cycles, bounded by memory.
+	perSec := f.ClockHz / float64(spec.II) * float64(f.Lanes)
+	t := sim.Seconds(float64(elements) / perSec)
+	if f.MemBW > 0 {
+		mem := sim.Seconds(float64(elements) * spec.BytesPerElement / f.MemBW)
+		if mem > t {
+			t = mem
+		}
+	}
+	p.Sleep(t)
+	f.busy += t
+	total += t
+	return total, nil
+}
+
+// Busy returns cumulative pipeline-busy time (excluding reconfiguration).
+func (f *FPGAModel) Busy() sim.Time { return f.busy }

@@ -1,0 +1,163 @@
+// Package proc defines the processor abstraction attached to leaf nodes of
+// the Northup tree (paper §III-B, Listing 1: processor_t) and the CPU model.
+//
+// The paper treats processors uniformly: a leaf queries the attached
+// processor's type and launches the right kernel (§III-E). The GPU model
+// lives in package gpu; both satisfy the Processor interface here.
+package proc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Kind identifies the processor class, mirroring the paper's processor_type.
+type Kind int
+
+const (
+	// CPU is a general-purpose multicore processor.
+	CPU Kind = iota
+	// GPU is a throughput-oriented accelerator.
+	GPU
+	// FPGA is a reconfigurable accelerator (modeled, unused by the paper's
+	// evaluation but part of the abstraction).
+	FPGA
+	// PIM is a processor-in-memory: modest arithmetic attached directly to
+	// a memory node, with that memory's full internal bandwidth. §VI: "PIM
+	// can be naturally supported as a Northup subtree."
+	PIM
+)
+
+// String returns the conventional name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "cpu"
+	case GPU:
+		return "gpu"
+	case FPGA:
+		return "fpga"
+	case PIM:
+		return "pim"
+	default:
+		return fmt.Sprintf("proc(%d)", int(k))
+	}
+}
+
+// Processor is any compute element attachable to a tree leaf.
+type Processor interface {
+	// ProcName returns a human-readable identifier.
+	ProcName() string
+	// ProcKind returns the processor class.
+	ProcKind() Kind
+	// LLCSize returns the last-level-cache (or local-memory) size in bytes,
+	// the transition point from software- to hardware-managed memory.
+	LLCSize() int64
+}
+
+// CPUModel is a simple throughput processor: a fixed number of cores (or
+// in-memory compute units), each with a scalar arithmetic rate and a share
+// of streaming bandwidth. It models both conventional CPUs and — with Kind
+// set to PIM — processor-in-memory units, which differ only in their
+// bandwidth-to-flops balance.
+type CPUModel struct {
+	Name     string
+	Kind     Kind // CPU by default; PIM for in-memory compute
+	Cores    int
+	GFLOPS   float64 // per-core peak, in FLOP/s (not 1e9 FLOP/s)
+	MemBW    float64 // aggregate bytes/s the cores can stream
+	LLCBytes int64
+
+	cores *sim.Resource
+}
+
+// NewCPU builds a CPU model bound to the engine. gflops is per-core FLOP/s;
+// membw is aggregate streaming bandwidth in bytes/s.
+func NewCPU(e *sim.Engine, name string, cores int, gflops, membw float64, llc int64) *CPUModel {
+	if cores < 1 {
+		panic("proc: CPU with no cores")
+	}
+	return &CPUModel{
+		Name: name, Kind: CPU, Cores: cores, GFLOPS: gflops, MemBW: membw, LLCBytes: llc,
+		cores: sim.NewResource(e, cores),
+	}
+}
+
+// NewPIM builds a processor-in-memory model: units see the host memory
+// node's internal bandwidth (pass the full device bandwidth) but have
+// modest arithmetic. Attach it to the memory node it lives in; computation
+// scheduled there skips the move to a leaf entirely.
+func NewPIM(e *sim.Engine, name string, units int, gflops, membw float64) *CPUModel {
+	m := NewCPU(e, name, units, gflops, membw, 256<<10)
+	m.Kind = PIM
+	return m
+}
+
+// ProcName implements Processor.
+func (c *CPUModel) ProcName() string { return c.Name }
+
+// ProcKind implements Processor.
+func (c *CPUModel) ProcKind() Kind { return c.Kind }
+
+// LLCSize implements Processor.
+func (c *CPUModel) LLCSize() int64 { return c.LLCBytes }
+
+// TaskTime returns the roofline time for one core to execute a task with
+// the given arithmetic and traffic: max(compute, memory), where memory
+// bandwidth is the aggregate divided evenly among cores.
+func (c *CPUModel) TaskTime(flops, bytes float64) sim.Time {
+	compute := sim.Seconds(flops / c.GFLOPS)
+	mem := sim.Seconds(bytes / (c.MemBW / float64(c.Cores)))
+	if mem > compute {
+		return mem
+	}
+	return compute
+}
+
+// Charge occupies one core for the roofline time of the task. Use it when a
+// simulation process plays the role of a CPU worker thread.
+func (c *CPUModel) Charge(p *sim.Proc, flops, bytes float64) sim.Time {
+	t := c.TaskTime(flops, bytes)
+	c.cores.Use(p, t)
+	return t
+}
+
+// Run executes fn functionally and charges one core for the roofline time.
+// The functional work happens at virtual-time zero cost; only the model's
+// time is charged, keeping function and timing separate.
+func (c *CPUModel) Run(p *sim.Proc, flops, bytes float64, fn func()) sim.Time {
+	if fn != nil {
+		fn()
+	}
+	return c.Charge(p, flops, bytes)
+}
+
+// TaskTimeParallel returns the roofline time when the task is spread
+// data-parallel across all cores/units: aggregate arithmetic against
+// aggregate bandwidth.
+func (c *CPUModel) TaskTimeParallel(flops, bytes float64) sim.Time {
+	compute := sim.Seconds(flops / (c.GFLOPS * float64(c.Cores)))
+	mem := sim.Seconds(bytes / c.MemBW)
+	if mem > compute {
+		return mem
+	}
+	return compute
+}
+
+// RunParallel executes fn functionally and occupies every core for the
+// parallel roofline time — how PIM units process a resident chunk.
+func (c *CPUModel) RunParallel(p *sim.Proc, flops, bytes float64, fn func()) sim.Time {
+	if fn != nil {
+		fn()
+	}
+	t := c.TaskTimeParallel(flops, bytes)
+	for i := 0; i < c.Cores; i++ {
+		c.cores.Acquire(p)
+	}
+	p.Sleep(t)
+	for i := 0; i < c.Cores; i++ {
+		c.cores.Release()
+	}
+	return t
+}

@@ -1,0 +1,157 @@
+package proc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCPUTaskTimeRoofline(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewCPU(e, "c", 4, 1e9, 4e9, 1<<20)
+	// Compute-bound: 1e9 flops on one core at 1e9 flop/s = 1s.
+	if got := c.TaskTime(1e9, 0); got != sim.Second {
+		t.Fatalf("compute-bound = %v", got)
+	}
+	// Memory-bound: 1e9 bytes at 1e9 B/s per core (4e9/4) = 1s.
+	if got := c.TaskTime(0, 1e9); got != sim.Second {
+		t.Fatalf("memory-bound = %v", got)
+	}
+	// Parallel: all 4 cores: 1e9 flops at 4e9 flop/s = 0.25s.
+	if got := c.TaskTimeParallel(1e9, 0); got != sim.Second/4 {
+		t.Fatalf("parallel = %v", got)
+	}
+}
+
+func TestCPUChargeOccupiesCore(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewCPU(e, "c", 1, 1e9, 1e9, 1<<20)
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		e.Spawn("w", func(p *sim.Proc) {
+			c.Charge(p, 1e9, 0)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ends[0] != sim.Second || ends[1] != 2*sim.Second {
+		t.Fatalf("single core did not serialize: %v", ends)
+	}
+}
+
+func TestRunParallelGatesOtherWork(t *testing.T) {
+	// RunParallel occupies every core: a concurrent single-core Charge
+	// must wait for it.
+	e := sim.NewEngine()
+	c := NewCPU(e, "c", 4, 1e9, 4e9, 1<<20)
+	var singleEnd sim.Time
+	e.Spawn("parallel", func(p *sim.Proc) {
+		c.RunParallel(p, 4e9, 0, nil) // 1s across all cores
+	})
+	e.Spawn("single", func(p *sim.Proc) {
+		p.Sleep(1) // arrive just after the parallel region grabbed cores
+		c.Charge(p, 1e9, 0)
+		singleEnd = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if singleEnd < 2*sim.Second {
+		t.Fatalf("single-core task finished at %v; parallel region did not gate it", singleEnd)
+	}
+}
+
+func TestPIMKind(t *testing.T) {
+	e := sim.NewEngine()
+	pim := NewPIM(e, "p", 8, 1e9, 10e9)
+	if pim.ProcKind() != PIM {
+		t.Fatalf("kind = %v", pim.ProcKind())
+	}
+	if PIM.String() != "pim" || FPGA.String() != "fpga" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestFPGAPipelineThroughput(t *testing.T) {
+	e := sim.NewEngine()
+	f := NewFPGA("f", 200e6, 4, 0, 10*sim.Millisecond)
+	var t1, t2 sim.Time
+	ran := false
+	e.Spawn("h", func(p *sim.Proc) {
+		var err error
+		// First run pays reconfiguration.
+		t1, err = f.Run(p, BitstreamSpec{Name: "fir", II: 1}, 800e6, func() { ran = true })
+		if err != nil {
+			t.Error(err)
+		}
+		// Second run of the same bitstream does not.
+		t2, err = f.Run(p, BitstreamSpec{Name: "fir", II: 1}, 800e6, nil)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("functional body skipped")
+	}
+	// 800e6 elements at 200 MHz x 4 lanes = 1s.
+	if t2 != sim.Second {
+		t.Fatalf("pipeline time %v, want 1s", t2)
+	}
+	if t1 != sim.Second+10*sim.Millisecond {
+		t.Fatalf("first run %v, want 1.01s (with reconfig)", t1)
+	}
+	if f.Reconfigs() != 1 || f.Configured() != "fir" {
+		t.Fatalf("reconfig bookkeeping: %d, %q", f.Reconfigs(), f.Configured())
+	}
+}
+
+func TestFPGAReconfigurationCharged(t *testing.T) {
+	e := sim.NewEngine()
+	f := NewFPGA("f", 100e6, 1, 0, 50*sim.Millisecond)
+	e.Spawn("h", func(p *sim.Proc) {
+		f.Run(p, BitstreamSpec{Name: "a", II: 1}, 1000, nil)
+		f.Run(p, BitstreamSpec{Name: "b", II: 1}, 1000, nil) // swap
+		f.Run(p, BitstreamSpec{Name: "a", II: 1}, 1000, nil) // swap back
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Reconfigs() != 3 {
+		t.Fatalf("reconfigs = %d, want 3", f.Reconfigs())
+	}
+	if e.Now() < 150*sim.Millisecond {
+		t.Fatalf("reconfiguration time not charged: %v", e.Now())
+	}
+}
+
+func TestFPGAMemoryBound(t *testing.T) {
+	e := sim.NewEngine()
+	f := NewFPGA("f", 1e9, 8, 1e9, 0) // fabric could do 8e9/s; memory caps at 1e9 B/s
+	var elapsed sim.Time
+	e.Spawn("h", func(p *sim.Proc) {
+		elapsed, _ = f.Run(p, BitstreamSpec{Name: "x", II: 1, BytesPerElement: 8}, 1e9, nil)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 8*sim.Second {
+		t.Fatalf("memory-bound run %v, want 8s", elapsed)
+	}
+}
+
+func TestFPGAValidation(t *testing.T) {
+	e := sim.NewEngine()
+	f := NewFPGA("f", 1e6, 1, 0, 0)
+	var err error
+	e.Spawn("h", func(p *sim.Proc) {
+		_, err = f.Run(p, BitstreamSpec{Name: "", II: 0}, 10, nil)
+	})
+	if e.Run() != nil || err == nil {
+		t.Fatal("invalid bitstream accepted")
+	}
+}

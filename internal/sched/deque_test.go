@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopLIFO(t *testing.T) {
+	d := NewDeque[int]("q")
+	for i := 0; i < 5; i++ {
+		d.PushTail(i)
+	}
+	for i := 4; i >= 0; i-- {
+		v, ok := d.PopTail()
+		if !ok || v != i {
+			t.Fatalf("PopTail = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.PopTail(); ok {
+		t.Fatal("pop from empty deque succeeded")
+	}
+}
+
+func TestStealFIFO(t *testing.T) {
+	d := NewDeque[int]("q")
+	for i := 0; i < 5; i++ {
+		d.PushTail(i)
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := d.StealHead()
+		if !ok || v != i {
+			t.Fatalf("StealHead = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.StealHead(); ok {
+		t.Fatal("steal from empty deque succeeded")
+	}
+}
+
+func TestOppositeEnds(t *testing.T) {
+	d := NewDeque[int]("q")
+	for i := 0; i < 4; i++ {
+		d.PushTail(i) // 0 1 2 3
+	}
+	if v, _ := d.StealHead(); v != 0 {
+		t.Fatalf("steal got %d", v)
+	}
+	if v, _ := d.PopTail(); v != 3 {
+		t.Fatalf("pop got %d", v)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	pops, steals := d.Stats()
+	if pops != 1 || steals != 1 {
+		t.Fatalf("stats = %d,%d", pops, steals)
+	}
+}
+
+func TestGrowthPreservesOrder(t *testing.T) {
+	d := NewDeque[int]("q")
+	// Interleave to force wraparound before growth.
+	for i := 0; i < 6; i++ {
+		d.PushTail(i)
+	}
+	d.StealHead() // 0
+	d.StealHead() // 1
+	for i := 6; i < 40; i++ {
+		d.PushTail(i)
+	}
+	for want := 2; want < 40; want++ {
+		v, ok := d.StealHead()
+		if !ok || v != want {
+			t.Fatalf("after growth StealHead = %d,%v want %d", v, ok, want)
+		}
+	}
+}
+
+func TestEveryTaskExactlyOnce(t *testing.T) {
+	// Property: any interleaving of owner pops and thief steals delivers
+	// each task exactly once.
+	f := func(ops []bool, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		d := NewDeque[int]("q")
+		for i := 0; i < n; i++ {
+			d.PushTail(i)
+		}
+		seen := make(map[int]int)
+		for _, fromTail := range ops {
+			var v int
+			var ok bool
+			if fromTail {
+				v, ok = d.PopTail()
+			} else {
+				v, ok = d.StealHead()
+			}
+			if ok {
+				seen[v]++
+			}
+		}
+		for d.Len() > 0 {
+			v, _ := d.PopTail()
+			seen[v]++
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionRoundRobin(t *testing.T) {
+	items := make([]int, 10)
+	for i := range items {
+		items[i] = i
+	}
+	qs := Partition(items, 3, "w")
+	if len(qs) != 3 {
+		t.Fatalf("%d queues", len(qs))
+	}
+	wantLens := []int{4, 3, 3}
+	for i, q := range qs {
+		if q.Len() != wantLens[i] {
+			t.Fatalf("queue %d len %d want %d", i, q.Len(), wantLens[i])
+		}
+	}
+	if v, _ := qs[1].StealHead(); v != 1 {
+		t.Fatalf("queue 1 head = %d", v)
+	}
+	if qs[0].Name() != "w0" {
+		t.Fatalf("queue name %q", qs[0].Name())
+	}
+}
+
+func TestStealFromScansOthers(t *testing.T) {
+	qs := Partition([]int{10, 20, 30}, 3, "q")
+	// Empty own queue 0 via its owner, then steal: should visit queue 1 first.
+	qs[0].PopTail()
+	v, victim, ok := StealFrom(qs, 0)
+	if !ok || v != 20 || victim != 1 {
+		t.Fatalf("StealFrom = %d from %d (%v)", v, victim, ok)
+	}
+	qs[1].PopTail() // drain remaining... queue1 now empty
+	v, victim, ok = StealFrom(qs, 0)
+	if !ok || v != 30 || victim != 2 {
+		t.Fatalf("second StealFrom = %d from %d (%v)", v, victim, ok)
+	}
+	if _, _, ok = StealFrom(qs, 0); ok {
+		t.Fatal("steal from all-empty queues succeeded")
+	}
+	if TotalLen(qs) != 0 {
+		t.Fatalf("TotalLen = %d", TotalLen(qs))
+	}
+}

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ProfileScheduler implements §III-E's profile-guided mapping: "By
+// profiling the execution of earlier scheduled chunks, the system can
+// provide useful information to subsequent scheduling and task-processor
+// mapping."
+//
+// For each processor it fits a linear cost model time = fixed + size/rate
+// from observed (size, time) samples and routes each new task to the
+// predicted-fastest processor; unprofiled processors are tried first so
+// every candidate gets sampled.
+type ProfileScheduler struct {
+	entries map[string]*profileEntry
+	// MinSamples is how many observations a processor needs before its
+	// prediction is trusted (default 2, enough to fit the line).
+	MinSamples int
+}
+
+type profileEntry struct {
+	n            int
+	sumX, sumY   float64 // x = task size, y = seconds
+	sumXX, sumXY float64
+}
+
+// NewProfileScheduler returns an empty scheduler.
+func NewProfileScheduler() *ProfileScheduler {
+	return &ProfileScheduler{entries: make(map[string]*profileEntry), MinSamples: 2}
+}
+
+// Record feeds one completed task: the processor that ran it, the task
+// size (any consistent measure: bytes, non-zeros, cells), and the elapsed
+// virtual time.
+func (s *ProfileScheduler) Record(procName string, size float64, elapsed sim.Time) {
+	e := s.entries[procName]
+	if e == nil {
+		e = &profileEntry{}
+		s.entries[procName] = e
+	}
+	y := elapsed.Seconds()
+	e.n++
+	e.sumX += size
+	e.sumY += y
+	e.sumXX += size * size
+	e.sumXY += size * y
+}
+
+// Samples returns how many observations a processor has.
+func (s *ProfileScheduler) Samples(procName string) int {
+	if e := s.entries[procName]; e != nil {
+		return e.n
+	}
+	return 0
+}
+
+// Predict estimates the time for a task of the given size on a processor.
+// ok is false while the processor has fewer than MinSamples observations.
+func (s *ProfileScheduler) Predict(procName string, size float64) (sim.Time, bool) {
+	e := s.entries[procName]
+	if e == nil || e.n < s.MinSamples {
+		return 0, false
+	}
+	nf := float64(e.n)
+	denom := nf*e.sumXX - e.sumX*e.sumX
+	var fixed, slope float64
+	if denom <= 1e-12 {
+		// Degenerate sizes: fall back to the mean rate through the origin.
+		if e.sumX > 0 {
+			slope = e.sumY / e.sumX
+		}
+	} else {
+		slope = (nf*e.sumXY - e.sumX*e.sumY) / denom
+		fixed = (e.sumY - slope*e.sumX) / nf
+	}
+	t := fixed + slope*size
+	if t < 0 {
+		t = 0
+	}
+	return sim.Seconds(t), true
+}
+
+// Pick chooses a processor for a task of the given size from the candidate
+// names: unprofiled candidates are explored first (in order), then the one
+// with the smallest predicted time wins.
+func (s *ProfileScheduler) Pick(candidates []string, size float64) (string, error) {
+	if len(candidates) == 0 {
+		return "", fmt.Errorf("sched: Pick with no candidates")
+	}
+	for _, c := range candidates {
+		if s.Samples(c) < s.MinSamples {
+			return c, nil // exploration phase
+		}
+	}
+	best := candidates[0]
+	bestT, _ := s.Predict(best, size)
+	for _, c := range candidates[1:] {
+		if t, _ := s.Predict(c, size); t < bestT {
+			best, bestT = c, t
+		}
+	}
+	return best, nil
+}

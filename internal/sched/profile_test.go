@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// Two synthetic processors: "gpu" has a large fixed launch cost but a fast
+// rate; "cpu" starts immediately but streams slowly. The crossover sits at
+// size = fixed / (1/cpuRate - 1/gpuRate).
+func gpuTime(size float64) sim.Time { return sim.Microseconds(50) + sim.Seconds(size/20e9) }
+func cpuTime(size float64) sim.Time { return sim.Seconds(size / 2e9) }
+
+func trainedScheduler() *ProfileScheduler {
+	s := NewProfileScheduler()
+	for _, size := range []float64{1e4, 1e6, 1e8} {
+		s.Record("gpu", size, gpuTime(size))
+		s.Record("cpu", size, cpuTime(size))
+	}
+	return s
+}
+
+func TestExplorationFirst(t *testing.T) {
+	s := NewProfileScheduler()
+	pick, err := s.Pick([]string{"gpu", "cpu"}, 1e6)
+	if err != nil || pick != "gpu" {
+		t.Fatalf("first pick = %q, %v", pick, err)
+	}
+	s.Record("gpu", 1e6, gpuTime(1e6))
+	s.Record("gpu", 2e6, gpuTime(2e6))
+	// gpu now profiled; cpu still unexplored -> must be tried.
+	pick, _ = s.Pick([]string{"gpu", "cpu"}, 1e6)
+	if pick != "cpu" {
+		t.Fatalf("unexplored candidate skipped: %q", pick)
+	}
+}
+
+func TestLearnsCrossover(t *testing.T) {
+	s := trainedScheduler()
+	// Small task: the GPU's launch cost dominates -> CPU wins.
+	if pick, _ := s.Pick([]string{"gpu", "cpu"}, 1e4); pick != "cpu" {
+		t.Fatalf("small task routed to %q", pick)
+	}
+	// Large task: rate dominates -> GPU wins.
+	if pick, _ := s.Pick([]string{"gpu", "cpu"}, 1e8); pick != "gpu" {
+		t.Fatalf("large task routed to %q", pick)
+	}
+}
+
+func TestPredictionAccuracy(t *testing.T) {
+	s := trainedScheduler()
+	for _, size := range []float64{5e4, 5e5, 5e7} {
+		got, ok := s.Predict("gpu", size)
+		if !ok {
+			t.Fatal("prediction unavailable after training")
+		}
+		want := gpuTime(size)
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.05*float64(want)+float64(sim.Microsecond) {
+			t.Fatalf("size %g: predicted %v, actual %v", size, got, want)
+		}
+	}
+}
+
+func TestPickMatchesGroundTruth(t *testing.T) {
+	// Property: after training, Pick always selects the processor that is
+	// actually faster for the queried size.
+	s := trainedScheduler()
+	f := func(raw uint32) bool {
+		size := float64(raw%1_000_000_0) + 1
+		pick, err := s.Pick([]string{"gpu", "cpu"}, size)
+		if err != nil {
+			return false
+		}
+		truth := "cpu"
+		if gpuTime(size) < cpuTime(size) {
+			truth = "gpu"
+		}
+		// Near the crossover, tiny regression error is forgivable; demand
+		// correctness only when the gap exceeds 5%.
+		g, c := gpuTime(size), cpuTime(size)
+		gap := float64(g-c) / float64(c)
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap < 0.05 {
+			return true
+		}
+		return pick == truth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateSamples(t *testing.T) {
+	s := NewProfileScheduler()
+	// All samples at one size: prediction falls back to mean rate.
+	s.Record("p", 1e6, sim.Milliseconds(2))
+	s.Record("p", 1e6, sim.Milliseconds(2))
+	got, ok := s.Predict("p", 2e6)
+	if !ok {
+		t.Fatal("prediction unavailable")
+	}
+	if got < sim.Milliseconds(3) || got > sim.Milliseconds(5) {
+		t.Fatalf("degenerate prediction %v, want ~4ms", got)
+	}
+}
+
+func TestPickErrors(t *testing.T) {
+	s := NewProfileScheduler()
+	if _, err := s.Pick(nil, 1); err == nil {
+		t.Fatal("empty candidate list accepted")
+	}
+}
+
+func TestManyProcessors(t *testing.T) {
+	s := NewProfileScheduler()
+	names := make([]string, 5)
+	for i := range names {
+		names[i] = fmt.Sprintf("p%d", i)
+		rate := float64(i+1) * 1e9
+		s.Record(names[i], 1e6, sim.Seconds(1e6/rate))
+		s.Record(names[i], 2e6, sim.Seconds(2e6/rate))
+	}
+	pick, _ := s.Pick(names, 1e7)
+	if pick != "p4" {
+		t.Fatalf("fastest of five not chosen: %q", pick)
+	}
+}

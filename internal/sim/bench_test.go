@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkEventThroughput measures raw engine speed: one process sleeping
+// repeatedly (two context handoffs per event).
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkManyProcesses measures scheduling with a wide ready set.
+func BenchmarkManyProcesses(b *testing.B) {
+	e := NewEngine()
+	const procs = 64
+	per := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for j := 0; j < per; j++ {
+				p.Sleep(Time(1 + j%7))
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResourceContention measures a FIFO server under load.
+func BenchmarkResourceContention(b *testing.B) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	const workers = 16
+	per := b.N/workers + 1
+	for i := 0; i < workers; i++ {
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			for j := 0; j < per; j++ {
+				r.Use(p, 3)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkChanPingPong measures rendezvous channel handoffs.
+func BenchmarkChanPingPong(b *testing.B) {
+	e := NewEngine()
+	c := NewChan(e, 0)
+	e.Spawn("sender", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c.Send(p, i)
+		}
+		c.Close()
+	})
+	e.Spawn("receiver", func(p *Proc) {
+		for {
+			if _, ok := c.Recv(p); !ok {
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

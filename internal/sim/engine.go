@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Engine is a single-threaded discrete-event simulation scheduler.
+//
+// An Engine must be driven from a single goroutine: Spawn processes, then
+// call Run (or RunUntil). While Run executes, processes may spawn further
+// processes and schedule events; the engine guarantees that at most one
+// process executes at any moment, so simulation state needs no locking.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan yieldMsg
+	procs   []*Proc
+	live    int // spawned but not finished
+	running bool
+	fatal   error
+	fired   int64 // events dispatched (simulator-cost observability)
+
+	// trace, when non-nil, receives a line for every process resumption.
+	// Used by determinism tests.
+	trace func(t Time, p *Proc)
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan yieldMsg)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// SetTrace installs a hook invoked each time a process is resumed.
+// Pass nil to disable. Intended for tests.
+func (e *Engine) SetTrace(fn func(t Time, p *Proc)) { e.trace = fn }
+
+// Stats reports the engine's lifetime counters: events dispatched and
+// processes spawned. Useful for quantifying simulation cost.
+func (e *Engine) Stats() (events int64, procs int) { return e.fired, len(e.procs) }
+
+type yieldKind int
+
+const (
+	yieldBlocked yieldKind = iota // process parked (sleep or condition wait)
+	yieldDone                     // process function returned
+	yieldPanic                    // process panicked
+)
+
+type yieldMsg struct {
+	kind yieldKind
+	p    *Proc
+	err  error
+}
+
+type event struct {
+	t   Time
+	seq uint64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// schedule enqueues a wakeup for p at time t. It panics if p already has a
+// pending wakeup: primitives in this package never double-schedule, so a
+// double schedule indicates a bug in client code (e.g. waking a process that
+// is not blocked on the caller's primitive).
+func (e *Engine) schedule(p *Proc, t Time) {
+	if p.state == procFinished {
+		panic(fmt.Sprintf("sim: scheduling finished process %q", p.name))
+	}
+	if p.pending {
+		panic(fmt.Sprintf("sim: double-scheduling process %q", p.name))
+	}
+	if t < e.now {
+		t = e.now
+	}
+	p.pending = true
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, p: p})
+}
+
+// wake schedules p to resume at the current time. It is the mechanism used
+// by synchronization primitives to hand control to a blocked process.
+func (e *Engine) wake(p *Proc) { e.schedule(p, e.now) }
+
+// DeadlockError reports that the event queue drained while processes were
+// still blocked on conditions that nothing can ever signal.
+type DeadlockError struct {
+	At      Time
+	Blocked []string // names of the stuck processes
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked: %s",
+		d.At, len(d.Blocked), strings.Join(d.Blocked, ", "))
+}
+
+// Run executes events until the queue drains. It returns nil when every
+// spawned process has finished, a *DeadlockError when processes remain
+// blocked forever, or the panic value (as an error) if a process panicked.
+func (e *Engine) Run() error { return e.RunUntil(-1) }
+
+// RunUntil executes events with timestamps <= deadline (a negative deadline
+// means "no limit"). If the deadline stops the run early while processes are
+// still runnable, RunUntil returns nil and the simulation may be resumed by
+// calling RunUntil again with a later deadline.
+func (e *Engine) RunUntil(deadline Time) error {
+	if e.running {
+		panic("sim: Engine.Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for e.events.Len() > 0 {
+		if deadline >= 0 && e.events[0].t > deadline {
+			e.now = deadline
+			return nil
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.fired++
+		if ev.t > e.now {
+			e.now = ev.t
+		}
+		p := ev.p
+		p.pending = false
+		p.state = procRunning
+		if e.trace != nil {
+			e.trace(e.now, p)
+		}
+		p.resume <- struct{}{}
+		msg := <-e.yield
+		switch msg.kind {
+		case yieldBlocked:
+			// The process parked itself; its next wakeup (if any) is
+			// already in the heap or held by a primitive's wait list.
+		case yieldDone:
+			msg.p.state = procFinished
+			e.live--
+		case yieldPanic:
+			msg.p.state = procFinished
+			e.live--
+			e.fatal = msg.err
+			return e.fatal
+		}
+	}
+	if e.live > 0 {
+		d := &DeadlockError{At: e.now}
+		for _, p := range e.procs {
+			if p.state == procBlocked {
+				d.Blocked = append(d.Blocked, p.name)
+			}
+		}
+		sort.Strings(d.Blocked)
+		return d
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(10 * Millisecond)
+		at = append(at, p.Now())
+		p.Sleep(5 * Millisecond)
+		at = append(at, p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(at) != 2 || at[0] != 10*Millisecond || at[1] != 15*Millisecond {
+		t.Fatalf("got wakeups at %v", at)
+	}
+	if e.Now() != 15*Millisecond {
+		t.Fatalf("final time %v", e.Now())
+	}
+}
+
+func TestInterleavingIsByTimestamp(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	mark := func(s string) { order = append(order, s) }
+	e.Spawn("slow", func(p *Proc) {
+		p.Sleep(30)
+		mark("slow")
+	})
+	e.Spawn("fast", func(p *Proc) {
+		p.Sleep(10)
+		mark("fast")
+		p.Sleep(30) // wakes at 40
+		mark("fast2")
+	})
+	e.Spawn("mid", func(p *Proc) {
+		p.Sleep(20)
+		mark("mid")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(order, ",")
+	if got != "fast,mid,slow,fast2" {
+		t.Fatalf("order = %s", got)
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	// Processes scheduled for the same instant run in scheduling order.
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(100)
+			order = append(order, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	e := NewEngine()
+	var childTime Time
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(5)
+		e.Spawn("child", func(c *Proc) {
+			c.Sleep(7)
+			childTime = c.Now()
+		})
+		p.Sleep(100)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != 12 {
+		t.Fatalf("child finished at %d, want 12", childTime)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	l := NewLatch(e)
+	e.Spawn("stuck", func(p *Proc) { l.Wait(p) })
+	err := e.Run()
+	d, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(d.Blocked) != 1 || d.Blocked[0] != "stuck" {
+		t.Fatalf("blocked = %v", d.Blocked)
+	}
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("boom", func(p *Proc) {
+		p.Sleep(1)
+		panic("kaboom")
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunUntilResumes(t *testing.T) {
+	e := NewEngine()
+	done := false
+	e.Spawn("late", func(p *Proc) {
+		p.Sleep(100)
+		done = true
+	})
+	if err := e.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	if done || e.Now() != 50 {
+		t.Fatalf("done=%v now=%v after first half", done, e.Now())
+	}
+	if err := e.RunUntil(-1); err != nil {
+		t.Fatal(err)
+	}
+	if !done || e.Now() != 100 {
+		t.Fatalf("done=%v now=%v after resume", done, e.Now())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two identical multi-process simulations produce identical traces.
+	run := func() string {
+		e := NewEngine()
+		var sb strings.Builder
+		e.SetTrace(func(tm Time, p *Proc) {
+			fmt.Fprintf(&sb, "%d:%s;", tm, p.Name())
+		})
+		r := NewResource(e, 2)
+		wg := NewWaitGroup(e)
+		for i := 0; i < 6; i++ {
+			i := i
+			wg.Add(1)
+			e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+				defer wg.Done()
+				for j := 0; j < 3; j++ {
+					r.Use(p, Time(10+i*3+j))
+				}
+			})
+		}
+		e.Spawn("join", func(p *Proc) { wg.Wait(p) })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("traces differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t Time
+		s string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{1500, "1.5µs"},
+		{2 * Millisecond, "2ms"},
+		{3 * Second, "3s"},
+		{-2 * Millisecond, "-2ms"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.s {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.s)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	if d := TransferTime(1000, 1000); d != Second {
+		t.Fatalf("1000B at 1000B/s = %v", d)
+	}
+	if d := TransferTime(0, 100); d != 0 {
+		t.Fatalf("zero bytes = %v", d)
+	}
+	if d := TransferTime(100, 0); d != 0 {
+		t.Fatalf("zero bandwidth = %v", d)
+	}
+}
+
+func TestTransferTimeMonotonic(t *testing.T) {
+	// Property: more bytes never take less time at a fixed bandwidth.
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return TransferTime(x, 1e9) <= TransferTime(y, 1e9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	f := func(ms uint16) bool {
+		d := Seconds(float64(ms) / 1000)
+		return d == Time(ms)*Millisecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(1)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	events, procs := e.Stats()
+	if procs != 1 {
+		t.Fatalf("procs = %d", procs)
+	}
+	// Start event + 5 sleeps.
+	if events != 6 {
+		t.Fatalf("events = %d, want 6", events)
+	}
+}

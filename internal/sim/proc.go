@@ -1,0 +1,90 @@
+package sim
+
+import "fmt"
+
+type procState int
+
+const (
+	procBlocked procState = iota // parked, waiting for a wakeup
+	procRunning
+	procFinished
+)
+
+// Proc is a simulated process: a goroutine whose blocking operations take
+// virtual time instead of real time. All Proc methods must be called from
+// the process's own goroutine (the function passed to Spawn).
+type Proc struct {
+	e       *Engine
+	name    string
+	id      int
+	resume  chan struct{}
+	state   procState
+	pending bool // a wakeup event for this proc sits in the engine heap
+}
+
+// Spawn creates a process executing fn and schedules its start at the
+// current virtual time. It may be called before Run (to seed the simulation)
+// or from inside another process.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		e:      e,
+		name:   name,
+		id:     len(e.procs),
+		resume: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	go func() {
+		<-p.resume // wait for the engine to start us
+		defer func() {
+			if r := recover(); r != nil {
+				e.yield <- yieldMsg{kind: yieldPanic, p: p,
+					err: fmt.Errorf("sim: process %q panicked: %v", p.name, r)}
+			}
+		}()
+		fn(p)
+		e.yield <- yieldMsg{kind: yieldDone, p: p}
+	}()
+	e.schedule(p, e.now)
+	return p
+}
+
+// Name returns the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns a small integer unique among the engine's processes.
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Sleep advances this process's local time by d. Other processes run in the
+// meantime. A non-positive duration yields the processor for one scheduling
+// round without advancing the clock.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.schedule(p, p.e.now+d)
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting every other
+// process that is ready at this instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// park blocks the process until some event or primitive wakes it.
+// The caller must have arranged for a future wakeup (an event in the heap or
+// membership in a primitive's wait list); otherwise the run ends in deadlock.
+func (p *Proc) park() {
+	p.state = procBlocked
+	p.e.yield <- yieldMsg{kind: yieldBlocked, p: p}
+	<-p.resume
+}
+
+// block parks the process with no scheduled wakeup. Primitives call it after
+// adding p to their wait list.
+func (p *Proc) block() { p.park() }

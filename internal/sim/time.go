@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a virtual time instant or duration, measured in nanoseconds.
+// The zero Time is the start of the simulation.
+type Time int64
+
+// Convenient duration units, mirroring package time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds converts a floating-point number of seconds to a Time,
+// rounding to the nearest nanosecond.
+func Seconds(s float64) Time { return Time(math.Round(s * float64(Second))) }
+
+// Microseconds converts a floating-point number of microseconds to a Time,
+// rounding to the nearest nanosecond.
+func Microseconds(us float64) Time { return Time(math.Round(us * float64(Microsecond))) }
+
+// Milliseconds converts a floating-point number of milliseconds to a Time,
+// rounding to the nearest nanosecond.
+func Milliseconds(ms float64) Time { return Time(math.Round(ms * float64(Millisecond))) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with a unit chosen by magnitude, e.g. "12.3ms".
+func (t Time) String() string {
+	neg := ""
+	v := t
+	if v < 0 {
+		neg, v = "-", -v
+	}
+	switch {
+	case v >= Second:
+		return fmt.Sprintf("%s%.4gs", neg, float64(v)/float64(Second))
+	case v >= Millisecond:
+		return fmt.Sprintf("%s%.4gms", neg, float64(v)/float64(Millisecond))
+	case v >= Microsecond:
+		return fmt.Sprintf("%s%.4gµs", neg, float64(v)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%s%dns", neg, int64(v))
+	}
+}
+
+// TransferTime returns the time to move n bytes at bw bytes/second.
+// A non-positive bandwidth yields zero time (an "infinitely fast" component),
+// which keeps degenerate configurations safe in tests.
+func TransferTime(n int64, bw float64) Time {
+	if bw <= 0 || n <= 0 {
+		return 0
+	}
+	return Time(float64(n) / bw * float64(Second))
+}

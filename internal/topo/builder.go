@@ -1,0 +1,119 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Builder constructs a Tree incrementally. Nodes are numbered in BFS order
+// when Build is called, matching the paper's Figure 2 numbering (node 3's
+// children are 6 and 7).
+type Builder struct {
+	engine *sim.Engine
+	root   *bnode
+	all    []*bnode
+}
+
+type bnode struct {
+	prof     device.Profile
+	parent   *bnode
+	children []*bnode
+	procs    []proc.Processor
+	built    *Node
+}
+
+// NodeRef identifies a node under construction.
+type NodeRef struct{ b *bnode }
+
+// NewBuilder returns a Builder whose devices will be bound to e.
+func NewBuilder(e *sim.Engine) *Builder { return &Builder{engine: e} }
+
+// Engine returns the engine the builder binds devices to.
+func (b *Builder) Engine() *sim.Engine { return b.engine }
+
+// Root sets the level-0 storage node. It may be called once.
+func (b *Builder) Root(p device.Profile) NodeRef {
+	if b.root != nil {
+		panic("topo: Root called twice")
+	}
+	n := &bnode{prof: p}
+	b.root = n
+	b.all = append(b.all, n)
+	return NodeRef{n}
+}
+
+// Child adds a memory node one level below parent.
+func (b *Builder) Child(parent NodeRef, p device.Profile) NodeRef {
+	n := &bnode{prof: p, parent: parent.b}
+	parent.b.children = append(parent.b.children, n)
+	b.all = append(b.all, n)
+	return NodeRef{n}
+}
+
+// Attach adds a processor to a node. Leaves need at least one; the paper
+// also allows a CPU on a non-leaf node (the CPU-plus-discrete-GPU case).
+func (b *Builder) Attach(ref NodeRef, procs ...proc.Processor) {
+	ref.b.procs = append(ref.b.procs, procs...)
+}
+
+// Build assigns BFS IDs, creates the devices and file stores, validates the
+// result, and returns the finished tree.
+func (b *Builder) Build() (*Tree, error) {
+	if b.root == nil {
+		return nil, fmt.Errorf("topo: no root node")
+	}
+	t := &Tree{}
+	queue := []*bnode{b.root}
+	level := map[*bnode]int{b.root: 0}
+	for len(queue) > 0 {
+		bn := queue[0]
+		queue = queue[1:]
+		dev := device.New(b.engine, bn.prof)
+		n := &Node{
+			ID:    len(t.nodes),
+			Level: level[bn],
+			Mem:   dev,
+			Procs: bn.procs,
+		}
+		if dev.Kind().IsFileStore() {
+			n.Store = storage.NewStore(dev)
+		}
+		bn.built = n
+		t.nodes = append(t.nodes, n)
+		if n.Level > t.maxLevel {
+			t.maxLevel = n.Level
+		}
+		for _, c := range bn.children {
+			level[c] = level[bn] + 1
+			queue = append(queue, c)
+		}
+	}
+	// Wire parent/child pointers now that all nodes exist.
+	for _, bn := range b.all {
+		n := bn.built
+		if bn.parent != nil {
+			n.Parent = bn.parent.built
+		}
+		for _, c := range bn.children {
+			n.Children = append(n.Children, c.built)
+		}
+	}
+	t.root = b.root.built
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustBuild is Build, panicking on error; for tests and fixed topologies.
+func (b *Builder) MustBuild() *Tree {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

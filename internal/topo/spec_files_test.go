@@ -1,0 +1,72 @@
+package topo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestShippedSpecsBuild loads every topology spec shipped in specs/ and
+// verifies it builds into a valid tree.
+func TestShippedSpecsBuild(t *testing.T) {
+	pattern := filepath.Join("..", "..", "specs", "*.json")
+	files, err := filepath.Glob(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("expected shipped specs at %s, found %d", pattern, len(files))
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := ParseSpec(data)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		tree, err := BuildSpec(sim.NewEngine(), spec)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if tree.DOT() == "" || tree.String() == "" {
+			t.Fatalf("%s: renderings empty", f)
+		}
+	}
+}
+
+// TestAsymmetricSpecShape pins the asymmetric example's structure: two
+// subtrees of different depths, Figure 2 style.
+func TestAsymmetricSpecShape(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "specs", "asymmetric.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildSpec(sim.NewEngine(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.MaxLevel() != 2 {
+		t.Fatalf("max level = %d", tree.MaxLevel())
+	}
+	if len(tree.Root().Children) != 2 {
+		t.Fatalf("root has %d children", len(tree.Root().Children))
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 2 {
+		t.Fatalf("%d leaves", len(leaves))
+	}
+	if leaves[0].Level == leaves[1].Level {
+		t.Fatal("asymmetric example has symmetric leaf depths")
+	}
+}

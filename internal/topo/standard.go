@@ -1,0 +1,171 @@
+package topo
+
+import (
+	"repro/internal/device"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// This file provides the three topologies of the paper's evaluation (§V-A)
+// as ready-made constructors. The scale parameter divides capacities so that
+// scaled-down workloads face the same capacity pressure (and therefore the
+// same chunking decisions) as the paper's full-size runs.
+
+// StorageChoice selects the root storage of an out-of-core topology.
+type StorageChoice int
+
+const (
+	// SSD is the paper's HyperX Predator-class PCIe SSD (1400/600 MB/s).
+	SSD StorageChoice = iota
+	// HDD is the paper's WD5000AAKX-class SATA drive.
+	HDD
+)
+
+// APUConfig parameterizes the 2-level out-of-core topology.
+type APUConfig struct {
+	Storage StorageChoice
+	// StorageMiB and DRAMMiB size the two levels. The paper uses a 2 GiB
+	// DRAM staging buffer; scaled-down runs shrink both proportionally.
+	StorageMiB int64
+	DRAMMiB    int64
+	// SSDReadMBps/SSDWriteMBps override SSD bandwidth for the §V-D sweep
+	// (zero means the 1400/600 baseline).
+	SSDReadMBps  float64
+	SSDWriteMBps float64
+	// WithCPU also attaches the CPU to the leaf (the §V-E APU case, where
+	// CPU and GPU share virtual memory and steal work from each other).
+	WithCPU bool
+}
+
+// APU builds the paper's 2-level tree: file storage (root, level 0) ->
+// DRAM staging buffer (leaf, level 1) with the integrated GPU attached —
+// and optionally the CPU, for the load-balancing study.
+func APU(e *sim.Engine, cfg APUConfig) *Tree {
+	b := NewBuilder(e)
+	var rootProf device.Profile
+	if cfg.Storage == HDD {
+		rootProf = device.HDDProfile(cfg.StorageMiB * device.MiB)
+	} else {
+		r, w := cfg.SSDReadMBps, cfg.SSDWriteMBps
+		if r == 0 {
+			r = 1400
+		}
+		if w == 0 {
+			w = 600
+		}
+		rootProf = device.SSDProfile(cfg.StorageMiB*device.MiB, r, w)
+	}
+	root := b.Root(rootProf)
+	dram := b.Child(root, device.DRAMProfile(cfg.DRAMMiB*device.MiB))
+	b.Attach(dram, gpu.APUGPU(e))
+	if cfg.WithCPU {
+		b.Attach(dram, gpu.APUCPU(e))
+	}
+	return b.MustBuild()
+}
+
+// DiscreteConfig parameterizes the 3-level discrete-GPU topology.
+type DiscreteConfig struct {
+	Storage    StorageChoice
+	StorageMiB int64
+	DRAMMiB    int64
+	GPUMemMiB  int64
+}
+
+// Discrete builds the paper's 3-level tree (§V-C, Figure 8): file storage
+// (level 0) -> DRAM (level 1) -> GPU device memory (level 2) with the
+// discrete W9100-class GPU at the leaf. The host CPU attaches to the DRAM
+// node — the paper's noted exception where a processor sits on a non-leaf.
+func Discrete(e *sim.Engine, cfg DiscreteConfig) *Tree {
+	b := NewBuilder(e)
+	var rootProf device.Profile
+	if cfg.Storage == HDD {
+		rootProf = device.HDDProfile(cfg.StorageMiB * device.MiB)
+	} else {
+		rootProf = device.SSDProfile(cfg.StorageMiB*device.MiB, 1400, 600)
+	}
+	root := b.Root(rootProf)
+	dram := b.Child(root, device.DRAMProfile(cfg.DRAMMiB*device.MiB))
+	b.Attach(dram, gpu.APUCPU(e)) // CPU on the non-leaf DRAM node
+	gmem := b.Child(dram, device.GPUMemProfile(cfg.GPUMemMiB*device.MiB))
+	b.Attach(gmem, gpu.DiscreteGPU(e))
+	return b.MustBuild()
+}
+
+// NVMConfig parameterizes the NVM-augmented topology of §VI ("a future
+// Exascale compute node may use die-stacked memory as a small capacity,
+// fast memory while using NVM as large capacity, slow memory").
+type NVMConfig struct {
+	Storage    StorageChoice
+	StorageMiB int64
+	NVMMiB     int64
+	DRAMMiB    int64
+	WithCPU    bool
+}
+
+// APUWithNVM builds the deeper per-node hierarchy the paper's discussion
+// proposes: file storage (level 0) -> byte-addressable NVM (level 1) ->
+// DRAM (level 2, leaf) with the integrated GPU. Applications written
+// against the tree run unchanged; the NVM level absorbs storage re-reads.
+func APUWithNVM(e *sim.Engine, cfg NVMConfig) *Tree {
+	b := NewBuilder(e)
+	var rootProf device.Profile
+	if cfg.Storage == HDD {
+		rootProf = device.HDDProfile(cfg.StorageMiB * device.MiB)
+	} else {
+		rootProf = device.SSDProfile(cfg.StorageMiB*device.MiB, 1400, 600)
+	}
+	root := b.Root(rootProf)
+	nvm := b.Child(root, device.NVMProfile(cfg.NVMMiB*device.MiB))
+	dram := b.Child(nvm, device.DRAMProfile(cfg.DRAMMiB*device.MiB))
+	b.Attach(dram, gpu.APUGPU(e))
+	if cfg.WithCPU {
+		b.Attach(dram, gpu.APUCPU(e))
+	}
+	return b.MustBuild()
+}
+
+// MultiBranchConfig parameterizes the asymmetric multi-branch topology of
+// Figure 2: one storage root with several staging subtrees.
+type MultiBranchConfig struct {
+	Storage    StorageChoice
+	StorageMiB int64
+	// BranchDRAMMiB sizes each branch's staging memory (one entry per
+	// branch).
+	BranchDRAMMiB []int64
+	// FastBranches marks which branches carry the discrete-class GPU; the
+	// rest get the slower integrated GPU, making the tree heterogeneous.
+	FastBranches []bool
+}
+
+// MultiBranch builds an asymmetric tree: the root storage with one staging
+// child per entry in BranchDRAMMiB, each with its own GPU.
+func MultiBranch(e *sim.Engine, cfg MultiBranchConfig) *Tree {
+	b := NewBuilder(e)
+	var rootProf device.Profile
+	if cfg.Storage == HDD {
+		rootProf = device.HDDProfile(cfg.StorageMiB * device.MiB)
+	} else {
+		rootProf = device.SSDProfile(cfg.StorageMiB*device.MiB, 1400, 600)
+	}
+	root := b.Root(rootProf)
+	for i, dramMiB := range cfg.BranchDRAMMiB {
+		branch := b.Child(root, device.DRAMProfile(dramMiB*device.MiB))
+		if i < len(cfg.FastBranches) && cfg.FastBranches[i] {
+			b.Attach(branch, gpu.DiscreteGPU(e))
+		} else {
+			b.Attach(branch, gpu.APUGPU(e))
+		}
+	}
+	return b.MustBuild()
+}
+
+// InMemory builds the in-memory baseline "tree": a single DRAM node holding
+// the whole working set (the paper's 16 GiB configuration) with the GPU and
+// CPU attached. Out-of-core Northup runs are normalized against it.
+func InMemory(e *sim.Engine, dramMiB int64) *Tree {
+	b := NewBuilder(e)
+	root := b.Root(device.DRAMProfile(dramMiB * device.MiB))
+	b.Attach(root, gpu.APUGPU(e), gpu.APUCPU(e))
+	return b.MustBuild()
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFractionsSumToOne(t *testing.T) {
+	var b Breakdown
+	b.Add(GPUCompute, 55*sim.Millisecond)
+	b.Add(IO, 30*sim.Millisecond)
+	b.Add(Transfer, 12*sim.Millisecond)
+	b.Add(BufferSetup, 2*sim.Millisecond)
+	b.Add(Runtime, 1*sim.Millisecond)
+	var sum float64
+	for _, c := range Categories {
+		sum += b.Fraction(c)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %g", sum)
+	}
+	if got := b.Fraction(GPUCompute); math.Abs(got-0.55) > 1e-9 {
+		t.Fatalf("gpu fraction %g", got)
+	}
+}
+
+func TestEmptyBreakdownSafe(t *testing.T) {
+	var b Breakdown
+	if b.Fraction(IO) != 0 || b.FractionOfTotal(IO) != 0 {
+		t.Fatal("empty breakdown produced nonzero fractions")
+	}
+}
+
+func TestFractionOfTotalWithOverlap(t *testing.T) {
+	var b Breakdown
+	b.Add(GPUCompute, 80*sim.Millisecond)
+	b.Add(IO, 80*sim.Millisecond)
+	b.SetTotal(100 * sim.Millisecond) // overlapped run
+	if got := b.FractionOfTotal(GPUCompute); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("gpu of total = %g", got)
+	}
+	if b.Sum() != 160*sim.Millisecond {
+		t.Fatalf("sum = %v", b.Sum())
+	}
+}
+
+func TestMergeAndReset(t *testing.T) {
+	var a, b Breakdown
+	a.Add(CPUCompute, 10)
+	b.Add(CPUCompute, 5)
+	b.Add(IO, 7)
+	a.Merge(&b)
+	if a.Busy(CPUCompute) != 15 || a.Busy(IO) != 7 {
+		t.Fatalf("merge result: cpu=%v io=%v", a.Busy(CPUCompute), a.Busy(IO))
+	}
+	a.Reset()
+	if a.Sum() != 0 || a.Total() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestNegativeAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var b Breakdown
+	b.Add(IO, -1)
+}
+
+func TestReportContents(t *testing.T) {
+	var b Breakdown
+	b.Add(GPUCompute, 90*sim.Millisecond)
+	b.Add(IO, 10*sim.Millisecond)
+	b.SetTotal(100 * sim.Millisecond)
+	r := b.Report()
+	for _, frag := range []string{"gpu", "io", "90.0%", "10.0%", "elapsed"} {
+		if !strings.Contains(r, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, r)
+		}
+	}
+	s := b.String()
+	if !strings.Contains(s, "gpu 90.0%") {
+		t.Fatalf("String() = %s", s)
+	}
+}

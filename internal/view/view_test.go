@@ -1,0 +1,76 @@
+package view
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestF32RoundTrip(t *testing.T) {
+	f := func(vals []float32) bool {
+		b := F32Bytes(vals)
+		got := F32(b)
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			// Compare bit patterns so NaNs round-trip too.
+			if got[i] != vals[i] && !(got[i] != got[i] && vals[i] != vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestI32RoundTrip(t *testing.T) {
+	f := func(vals []int32) bool {
+		b := I32Bytes(vals)
+		got := I32(b)
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewsAlias(t *testing.T) {
+	b := make([]byte, 8)
+	f := F32(b)
+	f[1] = 1.0
+	if b[4] == 0 && b[5] == 0 && b[6] == 0 && b[7] == 0 {
+		t.Fatal("write through view did not reach backing bytes")
+	}
+	g := F32(b)
+	if g[1] != 1.0 {
+		t.Fatal("second view does not alias")
+	}
+}
+
+func TestEmptyViews(t *testing.T) {
+	if F32(nil) != nil || I32(nil) != nil {
+		t.Fatal("nil input should give nil view")
+	}
+	if F32Bytes(nil) != nil || I32Bytes(nil) != nil {
+		t.Fatal("nil input should give nil bytes")
+	}
+}
+
+func TestMisalignedLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	F32(make([]byte, 7))
+}

@@ -1,0 +1,157 @@
+package workload
+
+// Matrix Market I/O: the interchange format of the University of Florida
+// sparse matrix collection, the paper's SpMV input source. With this,
+// real collection files can drive the SpMV application in place of the
+// synthetic generators (spmv.Config.Matrix).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseMatrixMarket reads a sparse matrix in Matrix Market coordinate
+// format ("%%MatrixMarket matrix coordinate real general", plus the
+// "pattern" and "symmetric" variants the collection commonly uses) and
+// returns it as CSR with rows sorted by column index.
+func ParseMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	// Header.
+	if !sc.Scan() {
+		return nil, fmt.Errorf("workload: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("workload: not a MatrixMarket matrix header: %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("workload: only coordinate format supported (got %q)", header[2])
+	}
+	pattern := header[3] == "pattern"
+	if !pattern && header[3] != "real" && header[3] != "integer" {
+		return nil, fmt.Errorf("workload: unsupported field type %q", header[3])
+	}
+	symmetric := false
+	if len(header) >= 5 {
+		switch header[4] {
+		case "general":
+		case "symmetric":
+			symmetric = true
+		default:
+			return nil, fmt.Errorf("workload: unsupported symmetry %q", header[4])
+		}
+	}
+
+	// Skip comments, read the size line.
+	var nRows, nCols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &nRows, &nCols, &nnz); err != nil {
+			return nil, fmt.Errorf("workload: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if nRows <= 0 || nCols <= 0 || nnz < 0 {
+		return nil, fmt.Errorf("workload: bad dimensions %dx%d nnz=%d", nRows, nCols, nnz)
+	}
+
+	type entry struct {
+		r, c int32
+		v    float32
+	}
+	entries := make([]entry, 0, nnz)
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("workload: bad entry line %q", line)
+		}
+		ri, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad row in %q: %w", line, err)
+		}
+		ci, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad col in %q: %w", line, err)
+		}
+		if ri < 1 || ri > nRows || ci < 1 || ci > nCols {
+			return nil, fmt.Errorf("workload: entry (%d,%d) outside %dx%d", ri, ci, nRows, nCols)
+		}
+		v := float32(1)
+		if !pattern {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("workload: missing value in %q", line)
+			}
+			f, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("workload: bad value in %q: %w", line, err)
+			}
+			v = float32(f)
+		}
+		e := entry{int32(ri - 1), int32(ci - 1), v}
+		entries = append(entries, e)
+		if symmetric && e.r != e.c {
+			entries = append(entries, entry{e.c, e.r, e.v})
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading MatrixMarket: %w", err)
+	}
+	if read < nnz {
+		return nil, fmt.Errorf("workload: truncated input: %d of %d entries", read, nnz)
+	}
+
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].r != entries[j].r {
+			return entries[i].r < entries[j].r
+		}
+		return entries[i].c < entries[j].c
+	})
+	m := &CSR{
+		NRows:  nRows,
+		NCols:  nCols,
+		RowPtr: make([]int32, nRows+1),
+		ColIdx: make([]int32, len(entries)),
+		Val:    make([]float32, len(entries)),
+	}
+	for i, e := range entries {
+		m.ColIdx[i] = e.c
+		m.Val[i] = e.v
+		m.RowPtr[e.r+1]++
+	}
+	for r := 0; r < nRows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m, m.Validate()
+}
+
+// WriteMatrixMarket writes the matrix in coordinate/real/general form.
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n",
+		m.NRows, m.NCols, m.NNZ()); err != nil {
+		return err
+	}
+	for r := 0; r < m.NRows; r++ {
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", r+1, m.ColIdx[i]+1, m.Val[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMatrixMarketBasic(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 4
+1 1 2.0
+2 3 -1.5
+3 1 4
+3 3 0.25
+`
+	m, err := ParseMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NRows != 3 || m.NCols != 3 || m.NNZ() != 4 {
+		t.Fatalf("shape %dx%d nnz=%d", m.NRows, m.NCols, m.NNZ())
+	}
+	x := []float32{1, 1, 1}
+	// Row sums: 2.0, -1.5, 4.25.
+	y := make([]float32, 3)
+	for r := 0; r < 3; r++ {
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			y[r] += m.Val[i] * x[m.ColIdx[i]]
+		}
+	}
+	if y[0] != 2.0 || y[1] != -1.5 || y[2] != 4.25 {
+		t.Fatalf("row sums %v", y)
+	}
+}
+
+func TestParseMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 1.0
+2 1 3.0
+`
+	m, err := ParseMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The (2,1) entry mirrors to (1,2): 3 stored non-zeros.
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3 (mirrored)", m.NNZ())
+	}
+	if m.RowNNZ(0) != 2 || m.RowNNZ(1) != 1 {
+		t.Fatalf("row lengths %d,%d", m.RowNNZ(0), m.RowNNZ(1))
+	}
+}
+
+func TestParseMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 3 2
+1 2
+2 3
+`
+	m, err := ParseMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NCols != 3 || m.Val[0] != 1 || m.Val[1] != 1 {
+		t.Fatalf("pattern values %v", m.Val)
+	}
+}
+
+func TestParseMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"not mm":       "hello\n1 1 1\n",
+		"bad format":   "%%MatrixMarket matrix array real general\n2 2\n",
+		"bad field":    "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 1\n",
+		"bad symmetry": "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"out of range": "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"truncated":    "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+		"bad value":    "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 xyz\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	f := func(seed int64, kindRaw uint8) bool {
+		kind := SparseKind(kindRaw % 3)
+		m := Sparse(kind, 40, 5, seed)
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			return false
+		}
+		got, err := ParseMatrixMarket(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NRows != m.NRows || got.NNZ() != m.NNZ() {
+			return false
+		}
+		for i := range m.Val {
+			if got.ColIdx[i] != m.ColIdx[i] || got.RowPtr[i%len(m.RowPtr)] != m.RowPtr[i%len(m.RowPtr)] {
+				return false
+			}
+			// Values survive the %g round trip at float32 precision.
+			if got.Val[i] != m.Val[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

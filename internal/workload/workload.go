@@ -1,0 +1,259 @@
+// Package workload generates deterministic inputs for the three evaluation
+// applications: dense float32 matrices (GEMM), power/temperature grids
+// (HotSpot-2D), and sparse matrices in CSR form (CSR-Adaptive SpMV).
+//
+// The paper's SpMV inputs come from the University of Florida collection;
+// that dataset is substituted by synthetic generators spanning the same
+// regularity spectrum the CSR-Adaptive algorithm bins for: uniform short
+// rows (CSR-Stream territory), power-law rows with a heavy tail
+// (CSR-Vector/VectorL territory), and banded matrices (regular HPC stencils).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense returns a rows x cols row-major float32 matrix with deterministic
+// pseudo-random entries in [-1, 1).
+func Dense(rows, cols int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	m := make([]float32, rows*cols)
+	for i := range m {
+		m[i] = float32(rng.Float64()*2 - 1)
+	}
+	return m
+}
+
+// Grid holds a HotSpot-2D problem: an n x n temperature field and the
+// corresponding dissipated-power field, both row-major.
+type Grid struct {
+	N     int
+	Temp  []float32
+	Power []float32
+}
+
+// HotSpotGrid returns an n x n thermal problem: ambient-ish temperatures
+// with hot spots, and a power map with a few strong sources, the shape of
+// Rodinia's HotSpot inputs.
+func HotSpotGrid(n int, seed int64) *Grid {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Grid{
+		N:     n,
+		Temp:  make([]float32, n*n),
+		Power: make([]float32, n*n),
+	}
+	for i := range g.Temp {
+		g.Temp[i] = 323 + float32(rng.Float64())*10 // ~50C ambient
+	}
+	// A handful of hot functional units.
+	for u := 0; u < 8; u++ {
+		cx, cy := rng.Intn(n), rng.Intn(n)
+		r := n/16 + 1
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				x, y := cx+dx, cy+dy
+				if x < 0 || y < 0 || x >= n || y >= n {
+					continue
+				}
+				d := math.Hypot(float64(dx), float64(dy))
+				if d <= float64(r) {
+					g.Power[y*n+x] += float32(2e-4 * (1 - d/float64(r+1)))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// CSR is a sparse matrix in compressed-sparse-row format, the three compact
+// vectors of §IV-C: row_ptr, col_id and data.
+type CSR struct {
+	NRows, NCols int
+	RowPtr       []int32 // length NRows+1
+	ColIdx       []int32 // length NNZ
+	Val          []float32
+}
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// RowNNZ returns the number of non-zeros in row r.
+func (m *CSR) RowNNZ(r int) int { return int(m.RowPtr[r+1] - m.RowPtr[r]) }
+
+// Validate checks CSR structural invariants.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != m.NRows+1 {
+		return fmt.Errorf("workload: row_ptr length %d for %d rows", len(m.RowPtr), m.NRows)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("workload: row_ptr[0] = %d", m.RowPtr[0])
+	}
+	if int(m.RowPtr[m.NRows]) != len(m.Val) || len(m.ColIdx) != len(m.Val) {
+		return fmt.Errorf("workload: nnz mismatch: row_ptr end %d, col %d, val %d",
+			m.RowPtr[m.NRows], len(m.ColIdx), len(m.Val))
+	}
+	for r := 0; r < m.NRows; r++ {
+		if m.RowPtr[r+1] < m.RowPtr[r] {
+			return fmt.Errorf("workload: row_ptr decreases at row %d", r)
+		}
+	}
+	for i, c := range m.ColIdx {
+		if c < 0 || int(c) >= m.NCols {
+			return fmt.Errorf("workload: col_id[%d] = %d outside %d columns", i, c, m.NCols)
+		}
+	}
+	return nil
+}
+
+// SparseKind selects a sparse-matrix structure.
+type SparseKind int
+
+const (
+	// SparseUniform gives every row about the same short length: the
+	// regular matrices CSR-Stream handles best.
+	SparseUniform SparseKind = iota
+	// SparsePowerLaw gives Zipf-distributed row lengths with a heavy tail:
+	// the irregular matrices that need CSR-Vector and CSR-VectorL.
+	SparsePowerLaw
+	// SparseBanded concentrates non-zeros near the diagonal, like
+	// discretized PDE operators.
+	SparseBanded
+)
+
+// String names the kind.
+func (k SparseKind) String() string {
+	switch k {
+	case SparseUniform:
+		return "uniform"
+	case SparsePowerLaw:
+		return "powerlaw"
+	case SparseBanded:
+		return "banded"
+	default:
+		return fmt.Sprintf("sparse(%d)", int(k))
+	}
+}
+
+// SparseRowPtr generates only the row_ptr vector of Sparse(kind, n, avgNNZ,
+// seed): the row-length structure without materializing columns and values.
+// The out-of-core planner (nnz-adaptive shard splitting, §IV-C) needs
+// exactly this much even in phantom (timing-only) runs, where a 16M-row
+// matrix's values never exist on the host.
+func SparseRowPtr(kind SparseKind, n, avgNNZ int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	rowPtr := make([]int32, n+1)
+	for r := 0; r < n; r++ {
+		rowPtr[r+1] = rowPtr[r] + int32(rowLength(kind, rng, n, avgNNZ, r))
+	}
+	return rowPtr
+}
+
+// rowLength draws one row's non-zero count.
+func rowLength(kind SparseKind, rng *rand.Rand, n, avgNNZ, row int) int {
+	var rowLen int
+	switch kind {
+	case SparseUniform:
+		rowLen = avgNNZ/2 + rng.Intn(avgNNZ+1)
+	case SparsePowerLaw:
+		// Zipf-ish via inverse transform; mean scaled to avgNNZ.
+		u := rng.Float64()
+		rowLen = int(float64(avgNNZ) / 3 * math.Pow(u, -0.55))
+		if rowLen > n {
+			rowLen = n
+		}
+	case SparseBanded:
+		rowLen = avgNNZ
+	}
+	if rowLen < 1 {
+		rowLen = 1
+	}
+	if kind == SparseBanded {
+		// Banded rows clip at the matrix edges; mirror the fill loop below.
+		half := rowLen / 2
+		lo := row - half
+		count := 0
+		for c := lo; count < rowLen && c < n; c++ {
+			if c >= 0 {
+				count++
+			}
+		}
+		return count
+	}
+	if rowLen > n {
+		rowLen = n
+	}
+	return rowLen
+}
+
+// Sparse generates an n x n CSR matrix with roughly avgNNZ non-zeros per
+// row, structured per kind, deterministically from seed. Its row_ptr is
+// bit-identical to SparseRowPtr(kind, n, avgNNZ, seed).
+func Sparse(kind SparseKind, n, avgNNZ int, seed int64) *CSR {
+	m := &CSR{NRows: n, NCols: n,
+		RowPtr: SparseRowPtr(kind, n, avgNNZ, seed)}
+	nnz := int(m.RowPtr[n])
+	m.ColIdx = make([]int32, 0, nnz)
+	m.Val = make([]float32, 0, nnz)
+	// Columns and values come from an independent stream so that the row
+	// structure alone can be regenerated cheaply.
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed5eed))
+	cols := make([]int32, 0, avgNNZ)
+	for r := 0; r < n; r++ {
+		rowLen := int(m.RowPtr[r+1] - m.RowPtr[r])
+		cols = cols[:0]
+		switch kind {
+		case SparseBanded:
+			// Use the pre-clip band half-width so edge rows enumerate the
+			// same columns the row-length generator counted.
+			base := avgNNZ
+			if base < 1 {
+				base = 1
+			}
+			half := base / 2
+			for c := r - half; len(cols) < rowLen; c++ {
+				if c >= 0 && c < n {
+					cols = append(cols, int32(c))
+				}
+				if c >= n {
+					break
+				}
+			}
+		default:
+			seen := make(map[int32]bool, rowLen)
+			for len(cols) < rowLen && len(cols) < n {
+				c := int32(rng.Intn(n))
+				if !seen[c] {
+					seen[c] = true
+					cols = append(cols, c)
+				}
+			}
+			sortInt32(cols)
+		}
+		for _, c := range cols {
+			m.ColIdx = append(m.ColIdx, c)
+			m.Val = append(m.Val, float32(rng.Float64()*2-1))
+		}
+	}
+	return m
+}
+
+// Vector returns a deterministic dense vector of length n.
+func Vector(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.Float64()*2 - 1)
+	}
+	return v
+}
+
+// sortInt32 is insertion sort: rows are short and mostly sorted already.
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseDeterministic(t *testing.T) {
+	a := Dense(16, 16, 7)
+	b := Dense(16, 16, 7)
+	c := Dense(16, 16, 8)
+	if len(a) != 256 {
+		t.Fatalf("len = %d", len(a))
+	}
+	same, diff := true, false
+	for i := range a {
+		same = same && a[i] == b[i]
+		diff = diff || a[i] != c[i]
+	}
+	if !same {
+		t.Fatal("same seed gave different matrices")
+	}
+	if !diff {
+		t.Fatal("different seeds gave identical matrices")
+	}
+	for _, v := range a {
+		if v < -1 || v >= 1 {
+			t.Fatalf("entry %g out of range", v)
+		}
+	}
+}
+
+func TestHotSpotGridShape(t *testing.T) {
+	g := HotSpotGrid(64, 3)
+	if g.N != 64 || len(g.Temp) != 64*64 || len(g.Power) != 64*64 {
+		t.Fatal("grid shape wrong")
+	}
+	var totalPower float64
+	for _, p := range g.Power {
+		if p < 0 {
+			t.Fatal("negative power")
+		}
+		totalPower += float64(p)
+	}
+	if totalPower <= 0 {
+		t.Fatal("power map empty")
+	}
+	for _, v := range g.Temp {
+		if v < 300 || v > 340 {
+			t.Fatalf("temperature %g implausible", v)
+		}
+	}
+}
+
+func TestSparseValidAcrossKinds(t *testing.T) {
+	for _, kind := range []SparseKind{SparseUniform, SparsePowerLaw, SparseBanded} {
+		m := Sparse(kind, 200, 8, 42)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if m.NNZ() < 200 { // at least one per row
+			t.Fatalf("%v: nnz = %d", kind, m.NNZ())
+		}
+		// Column indices sorted within each row.
+		for r := 0; r < m.NRows; r++ {
+			for i := int(m.RowPtr[r]) + 1; i < int(m.RowPtr[r+1]); i++ {
+				if m.ColIdx[i-1] > m.ColIdx[i] {
+					t.Fatalf("%v: row %d columns unsorted", kind, r)
+				}
+			}
+		}
+	}
+}
+
+func TestSparseKindsDifferInShape(t *testing.T) {
+	n, avg := 2000, 10
+	uniform := Sparse(SparseUniform, n, avg, 1)
+	power := Sparse(SparsePowerLaw, n, avg, 1)
+	maxRow := func(m *CSR) int {
+		mx := 0
+		for r := 0; r < m.NRows; r++ {
+			if l := m.RowNNZ(r); l > mx {
+				mx = l
+			}
+		}
+		return mx
+	}
+	if maxRow(power) < 4*maxRow(uniform) {
+		t.Fatalf("power-law tail (max %d) not heavier than uniform (max %d)",
+			maxRow(power), maxRow(uniform))
+	}
+}
+
+func TestSparseBandedStructure(t *testing.T) {
+	m := Sparse(SparseBanded, 100, 5, 9)
+	for r := 0; r < m.NRows; r++ {
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			d := int(m.ColIdx[i]) - r
+			if d < -5 || d > 5 {
+				t.Fatalf("row %d has entry at distance %d from diagonal", r, d)
+			}
+		}
+	}
+}
+
+func TestSparseDeterministic(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		a := Sparse(SparsePowerLaw, n, 4, seed)
+		b := Sparse(SparsePowerLaw, n, 4, seed)
+		if a.NNZ() != b.NNZ() {
+			return false
+		}
+		for i := range a.Val {
+			if a.Val[i] != b.Val[i] || a.ColIdx[i] != b.ColIdx[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := Sparse(SparseUniform, 20, 4, 5)
+	m.ColIdx[0] = 100 // out of range
+	if err := m.Validate(); err == nil {
+		t.Fatal("bad column accepted")
+	}
+	m = Sparse(SparseUniform, 20, 4, 5)
+	m.RowPtr[3] = m.RowPtr[4] + 1
+	if err := m.Validate(); err == nil {
+		t.Fatal("decreasing row_ptr accepted")
+	}
+	m = Sparse(SparseUniform, 20, 4, 5)
+	m.RowPtr = m.RowPtr[:10]
+	if err := m.Validate(); err == nil {
+		t.Fatal("short row_ptr accepted")
+	}
+}
+
+func TestSparseRowPtrMatchesFullGenerator(t *testing.T) {
+	// Phantom-mode planning relies on SparseRowPtr reproducing exactly the
+	// row structure of the full generator.
+	for _, kind := range []SparseKind{SparseUniform, SparsePowerLaw, SparseBanded} {
+		for _, n := range []int{1, 7, 100, 333} {
+			m := Sparse(kind, n, 6, 99)
+			if err := m.Validate(); err != nil {
+				t.Fatalf("%v n=%d: %v", kind, n, err)
+			}
+			rp := SparseRowPtr(kind, n, 6, 99)
+			if len(rp) != len(m.RowPtr) {
+				t.Fatalf("%v n=%d: length mismatch", kind, n)
+			}
+			for i := range rp {
+				if rp[i] != m.RowPtr[i] {
+					t.Fatalf("%v n=%d: row_ptr[%d] = %d vs %d", kind, n, i, rp[i], m.RowPtr[i])
+				}
+			}
+		}
+	}
+}
+
+func TestVectorDeterministic(t *testing.T) {
+	a, b := Vector(100, 3), Vector(100, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("vector not deterministic")
+		}
+	}
+}
