@@ -1,0 +1,35 @@
+# Build and test gates for the Northup reproduction.
+#
+#   make check   tier-1 gate: build + full test suite (the CI floor)
+#   make strict  tier-2 gate: vet + race-instrumented tests
+#   make all     both gates
+
+GO ?= go
+
+.PHONY: all build test vet race check strict bench clean
+
+all: check strict
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1: what every change must keep green.
+check: build test
+
+# Tier-2: static analysis plus the race detector over the whole suite.
+strict: vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

@@ -5,6 +5,11 @@
 //
 //	northup-run -app gemm|hotspot|spmv [-preset apu|apu-hdd|discrete|nvm|inmemory]
 //	            [-spec file.json] [-n N] [-chunk D] [-iters K] [-phantom]
+//	            [-faults seed=N,rate=P,...] [-retries K]
+//
+// With -faults the run injects deterministic transfer/allocation faults and
+// outages (see northup.ParseFaults for the full syntax); the runtime absorbs
+// them with retries and failover, and the report gains resilience counters.
 //
 // Functional mode (the default) computes and verifies real results, so keep
 // -n modest; -phantom charges identical virtual time with no payloads and
@@ -26,10 +31,15 @@ func main() {
 	n := flag.Int("n", 1024, "problem dimension (matrix/grid dim, or sparse rows)")
 	chunk := flag.Int("chunk", 0, "chunk/shard dimension (0 = derive from capacity)")
 	iters := flag.Int("iters", 8, "stencil iterations per pass (hotspot)")
+	steal := flag.Bool("steal", false,
+		"hotspot: queue-based CPU+GPU work stealing at the leaf (enables GPU-outage failover)")
 	avgNNZ := flag.Int("nnz", 16, "average non-zeros per row (spmv)")
 	phantom := flag.Bool("phantom", false, "timing-only mode (no payloads; paper-scale capable)")
 	storageMiB := flag.Int64("storage-mib", 1024, "preset storage capacity")
 	dramMiB := flag.Int64("dram-mib", 16, "preset staging capacity")
+	faults := flag.String("faults", "",
+		"fault injection: seed=N,rate=P[,delay-rate=P][,delay-us=D][,alloc-rate=P][,offline=NODE[/gpu|/cpu]:FROM_MS:UNTIL_MS]")
+	retries := flag.Int("retries", 0, "max retries per operation (0 = default policy)")
 	flag.Parse()
 
 	e := northup.NewEngine()
@@ -39,6 +49,18 @@ func main() {
 	}
 	opts := northup.DefaultOptions()
 	opts.Phantom = *phantom
+	if *faults != "" {
+		plan, err := northup.ParseFaults(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Faults = plan.Inject(e)
+	}
+	if *retries > 0 {
+		p := northup.DefaultRetryPolicy()
+		p.MaxRetries = *retries
+		opts.Retry = p
+	}
 	rt := northup.NewRuntime(e, tree, opts)
 
 	fmt.Printf("topology:\n%s\n", tree)
@@ -58,6 +80,22 @@ func main() {
 		stats = res.Stats
 		fmt.Printf("gemm: N=%d shard=%d\n", *n, res.ShardDim)
 	case "hotspot":
+		if *steal {
+			chunkDim := *chunk
+			if chunkDim <= 0 {
+				chunkDim = *n
+			}
+			scfg := northup.StealConfig{M: *n, ChunkDim: chunkDim, Seed: 1,
+				Iters: *iters, Mode: northup.CPUGPU}
+			res, err := northup.HotSpotSteal(rt, scfg)
+			if err != nil {
+				fatal(err)
+			}
+			stats = res.Stats
+			fmt.Printf("hotspot: M=%d chunk=%d iters=%d steals=%d gpu-tasks=%d cpu-tasks=%d failovers=%d\n",
+				*n, chunkDim, *iters, res.Steals, res.TasksByGPU, res.TasksByCPU, res.Failovers)
+			break
+		}
 		cfg := northup.HotSpotConfig{N: *n, Seed: 1, ChunkDim: *chunk, Iters: *iters}
 		var res *northup.HotSpotResult
 		if *preset == "inmemory" && *specPath == "" {
@@ -90,6 +128,9 @@ func main() {
 
 	fmt.Printf("\nsimulated execution: %v\n", stats.Elapsed)
 	fmt.Print(stats.Breakdown.Report())
+	if *faults != "" {
+		fmt.Print(rt.ResilienceReport())
+	}
 }
 
 func buildTree(e *northup.Engine, preset, specPath string, storageMiB, dramMiB int64) (*northup.Tree, error) {

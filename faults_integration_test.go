@@ -1,0 +1,143 @@
+package repro
+
+// Fault-injection integration tests: the ISSUE's acceptance scenarios. The
+// applications must complete bit-correct under injected transfer failures,
+// the resilience counters must show the faults were absorbed (not avoided),
+// and two runs with the same fault seed must replay identical schedules.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/apps/gemm"
+	"repro/internal/apps/hotspot"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// newFaultyAPU builds the small APU with a transfer-fault injector attached.
+func newFaultyAPU(cfg fault.Config, withCPU bool) (*sim.Engine, *core.Runtime, *fault.Injector) {
+	e := sim.NewEngine()
+	tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD, StorageMiB: 64,
+		DRAMMiB: 2, WithCPU: withCPU})
+	inj := fault.New(e, cfg)
+	opts := core.DefaultOptions()
+	opts.Faults = inj
+	return e, core.NewRuntime(e, tree, opts), inj
+}
+
+// runGEMM executes the out-of-core GEMM on rt with a small shard so the run
+// crosses the storage edge many times (many fault-injection points).
+func runGEMM(t *testing.T, rt *core.Runtime) *gemm.Result {
+	t.Helper()
+	res, err := gemm.RunNorthup(rt, gemm.Config{N: 256, Seed: 1, ShardDim: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGEMMBitCorrectUnderTransferFaults(t *testing.T) {
+	// A fault-free run is the oracle; retried transfers must not change a
+	// single bit of the result at 1% or 5% failure rates.
+	e := sim.NewEngine()
+	tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD, StorageMiB: 64, DRAMMiB: 2})
+	clean := runGEMM(t, core.NewRuntime(e, tree, core.DefaultOptions()))
+
+	for _, rate := range []float64{0.01, 0.05} {
+		_, rt, inj := newFaultyAPU(fault.Config{Seed: 42, TransferFailRate: rate}, false)
+		res := runGEMM(t, rt)
+		if !bytes.Equal(f32bytes(res.C), f32bytes(clean.C)) {
+			t.Fatalf("rate %.0f%%: faulted GEMM differs from fault-free run", 100*rate)
+		}
+		if inj.Stats().TransferFails == 0 {
+			t.Fatalf("rate %.0f%%: no transfer faults injected", 100*rate)
+		}
+		if rt.Resilience().Retries == 0 {
+			t.Fatalf("rate %.0f%%: faults injected but never retried", 100*rate)
+		}
+	}
+}
+
+func TestHotSpotBitCorrectUnderFaultsAndOutage(t *testing.T) {
+	// HotSpot with work stealing, under 5% transfer faults plus a GPU that
+	// is down for the whole run: the result must match the fault-free run
+	// bit for bit, with the GPU's queued tasks surfacing as failovers.
+	cfg := hotspot.StealConfig{M: 256, ChunkDim: 64, Seed: 5, Iters: 4,
+		GPUQueues: 2, Mode: hotspot.CPUGPU}
+	e := sim.NewEngine()
+	tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD, StorageMiB: 64,
+		DRAMMiB: 2, WithCPU: true})
+	clean, err := hotspot.RunSteal(core.NewRuntime(e, tree, core.DefaultOptions()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, rt, inj := newFaultyAPU(fault.Config{Seed: 42, TransferFailRate: 0.05}, true)
+	inj.TakeProcOffline(1, fault.ClassGPU, fault.Window{From: 0, Until: sim.Seconds(1e6)})
+	res, err := hotspot.RunSteal(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f32bytes(res.Temp), f32bytes(clean.Temp)) {
+		t.Fatal("faulted HotSpot differs from fault-free run")
+	}
+	if res.Failovers == 0 {
+		t.Fatal("GPU outage produced no failovers")
+	}
+	r := rt.Resilience()
+	if r.Retries == 0 || r.Failovers == 0 {
+		t.Fatalf("resilience counters empty under faults: %+v", r)
+	}
+	t.Logf("clean elapsed %v, faulted elapsed %v, cpu tasks %d, %v",
+		clean.Stats.Elapsed, res.Stats.Elapsed, res.TasksByCPU, r)
+}
+
+func TestSameFaultSeedReplaysIdenticalTrace(t *testing.T) {
+	// The determinism regression: two runs with identical workload and
+	// fault seed must resume the same processes at the same virtual times
+	// in the same order — byte-identical traces.
+	run := func() []byte {
+		var buf bytes.Buffer
+		e, rt, _ := newFaultyAPU(fault.Config{Seed: 42, TransferFailRate: 0.05,
+			TransferDelayRate: 0.05, AllocFailRate: 0.02}, false)
+		e.SetTrace(func(at sim.Time, p *sim.Proc) {
+			fmt.Fprintf(&buf, "%d %d %s\n", at, p.ID(), p.Name())
+		})
+		runGEMM(t, rt)
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("trace hook captured nothing")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed fault runs diverged (trace %d vs %d bytes)", len(a), len(b))
+	}
+}
+
+func TestDifferentFaultSeedsDiverge(t *testing.T) {
+	// Sanity check on the knob: a different seed gives a different fault
+	// schedule (otherwise the seed is not actually wired through).
+	stats := func(seed int64) fault.Stats {
+		_, rt, inj := newFaultyAPU(fault.Config{Seed: seed, TransferFailRate: 0.05,
+			TransferDelayRate: 0.1}, false)
+		runGEMM(t, rt)
+		return inj.Stats()
+	}
+	if stats(1) == stats(99) {
+		t.Fatal("seeds 1 and 99 produced identical fault schedules")
+	}
+}
+
+// f32bytes views a float32 slice as raw bytes for exact comparison.
+func f32bytes(xs []float32) []byte {
+	var buf bytes.Buffer
+	for _, x := range xs {
+		fmt.Fprintf(&buf, "%b,", x)
+	}
+	return buf.Bytes()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -80,23 +81,28 @@ type StealResult struct {
 	Steals int64
 	// TasksByGPU and TasksByCPU count task executions per processor class.
 	TasksByGPU, TasksByCPU int64
+	// Failovers counts GPU-queue tasks executed by a CPU thread while the
+	// GPU was offline (fault-injected outages only).
+	Failovers int64
 }
 
 // rowTask identifies one row of BlockDim-tall tiles within the chunk.
 type rowTask int
 
 // stealAcross tries the other processor class's queues first, then the
-// thief's siblings (skipping its own queue, index ownIdx).
-func stealAcross(other, siblings []*sched.Deque[rowTask], ownIdx int) (rowTask, bool) {
+// thief's siblings (skipping its own queue, index ownIdx). fromOther
+// reports whether the task was taken from the other class — what failover
+// accounting needs when the other class's processors are offline.
+func stealAcross(other, siblings []*sched.Deque[rowTask], ownIdx int) (t rowTask, fromOther, ok bool) {
 	for _, victim := range other {
 		if t, ok := victim.StealHead(); ok {
-			return t, true
+			return t, true, true
 		}
 	}
 	if t, _, ok := sched.StealFrom(siblings, ownIdx); ok {
-		return t, true
+		return t, false, true
 	}
-	return 0, false
+	return 0, false, false
 }
 
 // RunSteal executes the out-of-core stencil with queue-based leaf
@@ -148,6 +154,21 @@ func stealCompute(lc *core.Ctx, blk *Block, d int, cfg StealConfig, res *StealRe
 	}
 
 	engine := lc.Proc().Engine()
+
+	// With fault injection active, the leaf scheduler degrades gracefully
+	// when its GPU is taken offline: in CPUGPU mode offline workgroups stop
+	// popping and their queued tasks fail over to the CPU threads through
+	// the existing steal path; in GPUOnly mode there is nothing to fail over
+	// to, so workgroups stall until the outage window closes.
+	inj := lc.Runtime().Faults()
+	nodeID := lc.Node().ID
+	gpuOffline := func() (sim.Time, bool) {
+		if inj == nil {
+			return 0, false
+		}
+		return inj.ProcOfflineAt(nodeID, fault.ClassGPU, engine.Now())
+	}
+
 	nCPUQ := 0
 	if cfg.Mode == CPUGPU {
 		nCPUQ = CPUThreads
@@ -199,12 +220,23 @@ func stealCompute(lc *core.Ctx, blk *Block, d int, cfg StealConfig, res *StealRe
 			for it := 0; it < cfg.Iters; it++ {
 				start[it].Wait(sub.Proc())
 				for {
+					if until, off := gpuOffline(); off {
+						if cfg.Mode == CPUGPU {
+							// Leave the rest of this queue to the CPU
+							// thieves and sit out the iteration.
+							break
+						}
+						// GPUOnly: nothing to fail over to, so stall
+						// until the outage window closes.
+						sub.Proc().Sleep(until - sub.Proc().Now())
+						continue
+					}
 					t, ok := own.PopTail()
 					if !ok {
 						// Run dry: steal — from a CPU queue's head first
 						// (the direction §V-E highlights), then from a
 						// sibling GPU queue.
-						if t, ok = stealAcross(cpuQueues, gpuQueues, qi); ok {
+						if t, _, ok = stealAcross(cpuQueues, gpuQueues, qi); ok {
 							res.Steals++
 						} else {
 							break
@@ -234,8 +266,15 @@ func stealCompute(lc *core.Ctx, blk *Block, d int, cfg StealConfig, res *StealRe
 						// Dry CPU threads pull from GPU queues (stealing is
 						// "across the CPU and the GPU", §V-E), keeping all
 						// processors busy until the barrier.
-						if t, ok = stealAcross(gpuQueues, cpuQueues, qi); ok {
+						var fromGPU bool
+						if t, fromGPU, ok = stealAcross(gpuQueues, cpuQueues, qi); ok {
 							res.Steals++
+							if fromGPU {
+								if _, off := gpuOffline(); off {
+									res.Failovers++
+									lc.Runtime().NoteFailover()
+								}
+							}
 						} else {
 							break
 						}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -135,6 +136,105 @@ func TestCPUGPUNeedsCPU(t *testing.T) {
 	cfg := StealConfig{M: 64, ChunkDim: 32, Iters: 1, Mode: CPUGPU}
 	if _, err := RunSteal(newStealRuntime(true, false), cfg); err == nil {
 		t.Fatal("CPU+GPU mode ran without a CPU")
+	}
+}
+
+// newOutageRuntime builds the small APU with a fault injector whose GPU at
+// the leaf is offline for the given window.
+func newOutageRuntime(withCPU bool, w fault.Window) (*core.Runtime, *fault.Injector) {
+	e := sim.NewEngine()
+	tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD, StorageMiB: 64,
+		DRAMMiB: 16, WithCPU: withCPU})
+	inj := fault.New(e, fault.Config{Seed: 7})
+	inj.TakeProcOffline(tree.Leaves()[0].ID, fault.ClassGPU, w)
+	opts := core.DefaultOptions()
+	opts.Faults = inj
+	return core.NewRuntime(e, tree, opts), inj
+}
+
+func TestGPUOutageFailsOverToCPU(t *testing.T) {
+	// The GPU is down for the whole run: every queued GPU task must drain
+	// through the CPU steal path, bit-correct, with failovers accounted.
+	rt, _ := newOutageRuntime(true, fault.Window{From: 0, Until: sim.Seconds(1e6)})
+	cfg := StealConfig{M: 64, ChunkDim: 64, Seed: 5, Iters: 4, GPUQueues: 2, Mode: CPUGPU}
+	res, err := RunSteal(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.HotSpotGrid(cfg.M, cfg.Seed)
+	want, err := ReferenceBlocked(g.Temp, g.Power, cfg.M, cfg.ChunkDim, cfg.Iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Temp, want) {
+		t.Fatal("failed-over result differs from reference")
+	}
+	if res.TasksByGPU != 0 {
+		t.Fatalf("offline GPU still ran %d tasks", res.TasksByGPU)
+	}
+	wantTasks := int64((cfg.M / cfg.ChunkDim) * (cfg.M / cfg.ChunkDim) * cfg.Iters * (cfg.ChunkDim / BlockDim))
+	if res.TasksByCPU != wantTasks {
+		t.Fatalf("CPU absorbed %d tasks, want all %d", res.TasksByCPU, wantTasks)
+	}
+	if res.Failovers == 0 {
+		t.Fatal("no failovers recorded despite a full-run GPU outage")
+	}
+	if got := rt.Resilience().Failovers; got != res.Failovers {
+		t.Fatalf("runtime counted %d failovers, steal result %d", got, res.Failovers)
+	}
+}
+
+func TestGPURecoveryResumesWork(t *testing.T) {
+	// A transient outage: once the window closes the GPU rejoins, so both
+	// classes execute tasks and the result still matches the reference.
+	// Size the window off a fault-free baseline so it ends mid-computation
+	// regardless of the simulated device speeds.
+	cfg := StealConfig{M: 64, ChunkDim: 64, Seed: 5, Iters: 8, GPUQueues: 2, Mode: CPUGPU}
+	base, err := RunSteal(newStealRuntime(false, true), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := newOutageRuntime(true, fault.Window{From: 0, Until: base.Stats.Elapsed / 2})
+	res, err := RunSteal(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.HotSpotGrid(cfg.M, cfg.Seed)
+	want, err := ReferenceBlocked(g.Temp, g.Power, cfg.M, cfg.ChunkDim, cfg.Iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Temp, want) {
+		t.Fatal("post-recovery result differs from reference")
+	}
+	if res.TasksByGPU == 0 {
+		t.Fatal("GPU never resumed after the outage window closed")
+	}
+}
+
+func TestGPUOnlyOutageStallsUntilRecovery(t *testing.T) {
+	// Without a CPU there is nothing to fail over to: GPU-only execution
+	// must wait out the outage and then finish correctly.
+	recovery := sim.Milliseconds(5)
+	rt, _ := newOutageRuntime(false, fault.Window{From: 0, Until: recovery})
+	cfg := StealConfig{M: 64, ChunkDim: 32, Seed: 5, Iters: 3, GPUQueues: 8, Mode: GPUOnly}
+	res, err := RunSteal(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Elapsed < recovery {
+		t.Fatalf("run finished at %v, inside the outage ending at %v", res.Stats.Elapsed, recovery)
+	}
+	g := workload.HotSpotGrid(cfg.M, cfg.Seed)
+	want, err := ReferenceBlocked(g.Temp, g.Power, cfg.M, cfg.ChunkDim, cfg.Iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Temp, want) {
+		t.Fatal("stalled GPU-only result differs from reference")
+	}
+	if res.Failovers != 0 {
+		t.Fatalf("GPU-only mode recorded %d failovers", res.Failovers)
 	}
 }
 

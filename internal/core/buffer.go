@@ -69,53 +69,75 @@ func allocSetupCost(k device.Kind) sim.Time {
 
 // AllocAt reserves size bytes on node and returns the buffer handle,
 // charging buffer-setup time. This is Table I's alloc(size, tree_node).
+// Injected transient ENOSPC (allocation pressure) and node outages are
+// retried under the runtime's RetryPolicy; genuine capacity exhaustion
+// surfaces as *device.ErrCapacity without retrying.
 func (rt *Runtime) AllocAt(p *sim.Proc, node *topo.Node, size int64) (*Buffer, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("core: alloc %d bytes on %v", size, node)
 	}
 	rt.chargeOverhead(p)
-	cost := allocSetupCost(node.Kind())
-	p.Sleep(cost)
-	rt.bd.Add(trace.BufferSetup, cost)
-
-	b := &Buffer{node: node, size: size}
-	if node.Kind().IsFileStore() {
-		rt.bufSeq++
-		name := fmt.Sprintf("nubuf-%04d", rt.bufSeq)
-		f, err := node.Store.Create(name, size)
-		if err != nil {
-			return nil, err
+	var b *Buffer
+	err := rt.withRetry(p, "alloc", func() error {
+		// Each attempt pays the setup cost: a refused clCreateBuffer or
+		// file creation still burns the round trip.
+		cost := allocSetupCost(node.Kind())
+		p.Sleep(cost)
+		rt.bd.Add(trace.BufferSetup, cost)
+		if rt.opts.Faults != nil {
+			if err := rt.opts.Faults.Alloc(p, node.ID, size); err != nil {
+				return err
+			}
 		}
-		b.file = f
-		return b, nil
-	}
-	ext, err := rt.allocs[node.ID].Alloc(size)
+		b = &Buffer{node: node, size: size}
+		if node.Kind().IsFileStore() {
+			rt.bufSeq++
+			name := fmt.Sprintf("nubuf-%04d", rt.bufSeq)
+			f, err := node.Store.Create(name, size)
+			if err != nil {
+				return err
+			}
+			b.file = f
+			return nil
+		}
+		ext, err := rt.allocs[node.ID].Alloc(size)
+		if err != nil {
+			return fmt.Errorf("core: alloc on %v: %w", node, err)
+		}
+		b.ext = ext
+		if !rt.opts.Phantom {
+			b.data = make([]byte, size)
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("core: alloc on %v: %w", node, err)
-	}
-	b.ext = ext
-	if !rt.opts.Phantom {
-		b.data = make([]byte, size)
+		return nil, err
 	}
 	return b, nil
 }
 
-// Release frees the buffer's space (Table I's release). Releasing twice
-// panics: that is always a program bug.
-func (rt *Runtime) Release(p *sim.Proc, b *Buffer) {
+// Release frees the buffer's space (Table I's release). Releasing nil or
+// releasing twice returns an error (and frees nothing), so recovery paths
+// that double-release under fault cleanup degrade to an error instead of
+// crashing the whole simulation.
+func (rt *Runtime) Release(p *sim.Proc, b *Buffer) error {
+	if b == nil {
+		return fmt.Errorf("core: release of nil buffer")
+	}
 	if b.released {
-		panic("core: double release of buffer")
+		return fmt.Errorf("core: double release of buffer on %v", b.node)
 	}
 	b.released = true
 	rt.chargeOverhead(p)
 	if b.file != nil {
 		if err := b.node.Store.Remove(b.file.Name()); err != nil {
-			panic(fmt.Sprintf("core: releasing storage buffer: %v", err))
+			return fmt.Errorf("core: releasing storage buffer: %w", err)
 		}
-		return
+		return nil
 	}
 	rt.allocs[b.node.ID].Free(b.ext)
 	b.data = nil
+	return nil
 }
 
 // WrapFile adopts an existing file (e.g. a preloaded input dataset) as a

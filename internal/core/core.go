@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -53,6 +54,16 @@ type Options struct {
 	// host memory; functional correctness is verified separately at test
 	// scale.
 	Phantom bool
+
+	// Faults, when non-nil, injects deterministic transient failures into
+	// transfers and allocations (see package fault). Injected failures are
+	// absorbed by the Retry policy; the run report counts what happened.
+	Faults *fault.Injector
+
+	// Retry bounds how the runtime fights transient faults. The zero value
+	// is replaced by DefaultRetryPolicy when Faults is set; without an
+	// injector it leaves genuine errors un-retried.
+	Retry RetryPolicy
 }
 
 // DefaultOptions returns the standard bookkeeping costs.
@@ -71,12 +82,16 @@ type Runtime struct {
 	dma    *device.Link
 
 	bd     trace.Breakdown
+	res    ResilienceStats
 	bufSeq int
 }
 
 // NewRuntime creates a runtime for the tree. The engine must be the one the
 // tree's devices were built on.
 func NewRuntime(e *sim.Engine, t *topo.Tree, opts Options) *Runtime {
+	if opts.Faults != nil && opts.Retry == (RetryPolicy{}) {
+		opts.Retry = DefaultRetryPolicy()
+	}
 	rt := &Runtime{
 		engine: e,
 		tree:   t,
@@ -126,6 +141,9 @@ type RunStats struct {
 	// Breakdown is a snapshot of the per-category busy times accumulated
 	// during the run.
 	Breakdown trace.Breakdown
+	// Resilience is the fault-handling activity (retries, timeouts,
+	// failovers) during the run.
+	Resilience ResilienceStats
 }
 
 // Start spawns fn as a root task bound to the tree root without driving
@@ -149,6 +167,7 @@ func (rt *Runtime) Start(name string, fn func(c *Ctx) error) *Join {
 func (rt *Runtime) Run(name string, fn func(c *Ctx) error) (RunStats, error) {
 	start := rt.engine.Now()
 	before := rt.bd
+	resBefore := rt.res
 	var taskErr error
 	rt.engine.Spawn(name, func(p *sim.Proc) {
 		c := &Ctx{rt: rt, p: p, node: rt.tree.Root()}
@@ -166,7 +185,8 @@ func (rt *Runtime) Run(name string, fn func(c *Ctx) error) (RunStats, error) {
 	// preprocessing, then the measured pass) can share one runtime.
 	snap := rt.bd.DeltaFrom(&before)
 	snap.SetTotal(elapsed)
-	return RunStats{Elapsed: elapsed, Breakdown: snap}, nil
+	return RunStats{Elapsed: elapsed, Breakdown: snap,
+		Resilience: rt.res.DeltaFrom(resBefore)}, nil
 }
 
 // PiecesToFit returns how many equal pieces a working set of totalBytes

@@ -307,20 +307,26 @@ func TestMoveData2DStorageVsMem(t *testing.T) {
 	}
 }
 
-func TestDoubleReleasePanics(t *testing.T) {
+func TestDoubleReleaseReturnsError(t *testing.T) {
 	_, rt := newAPURuntime(t)
 	_, err := rt.Run("dblfree", func(c *Ctx) error {
 		b, err := c.AllocAt(rt.tree.Node(1), 64)
 		if err != nil {
 			return err
 		}
-		c.Release(b)
-		defer func() {
-			if recover() == nil {
-				t.Error("double release did not panic")
-			}
-		}()
-		c.Release(b)
+		if err := c.Release(b); err != nil {
+			t.Errorf("first release failed: %v", err)
+		}
+		used := rt.tree.Node(1).Mem.Used()
+		if err := c.Release(b); err == nil {
+			t.Error("double release did not return an error")
+		}
+		if got := rt.tree.Node(1).Mem.Used(); got != used {
+			t.Errorf("double release changed reservation: %d -> %d", used, got)
+		}
+		if err := c.Release(nil); err == nil {
+			t.Error("nil release did not return an error")
+		}
 		return nil
 	})
 	if err != nil {

@@ -56,8 +56,9 @@ func (c *Ctx) AllocAt(node *topo.Node, size int64) (*Buffer, error) {
 	return c.rt.AllocAt(c.p, node, size)
 }
 
-// Release frees a buffer.
-func (c *Ctx) Release(b *Buffer) { c.rt.Release(c.p, b) }
+// Release frees a buffer. Releasing nil or releasing twice returns an
+// error; the buffer is freed only on a nil return.
+func (c *Ctx) Release(b *Buffer) error { return c.rt.Release(c.p, b) }
 
 // MoveData is the unified move between any two buffers (Table I).
 func (c *Ctx) MoveData(dst, src *Buffer, dstOff, srcOff, n int64) error {

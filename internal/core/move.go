@@ -16,6 +16,9 @@ import (
 
 // MoveData copies n bytes from src (at srcOff) to dst (at dstOff), charging
 // the device, link and I/O times of whichever path connects the two nodes.
+// Transient faults injected on the edge (failures, delays, offline
+// endpoints) are retried under the runtime's RetryPolicy; a re-attempted
+// move re-copies the same bytes, so retries preserve bit-correctness.
 func (rt *Runtime) MoveData(p *sim.Proc, dst *Buffer, src *Buffer, dstOff, srcOff, n int64) error {
 	if err := checkMove(dst, src, dstOff, srcOff, n); err != nil {
 		return err
@@ -24,6 +27,17 @@ func (rt *Runtime) MoveData(p *sim.Proc, dst *Buffer, src *Buffer, dstOff, srcOf
 		return nil
 	}
 	rt.chargeOverhead(p)
+	return rt.withRetry(p, "move_data", func() error {
+		return rt.moveOnce(p, dst, src, dstOff, srcOff, n)
+	})
+}
+
+// moveOnce is one attempt of MoveData: the fault check, then the dispatch
+// of Listing 4.
+func (rt *Runtime) moveOnce(p *sim.Proc, dst *Buffer, src *Buffer, dstOff, srcOff, n int64) error {
+	if err := rt.faultTransfer(p, src, dst, n); err != nil {
+		return err
+	}
 	if rt.opts.Phantom {
 		return rt.movePhantom(p, dst, src, dstOff, srcOff, n)
 	}
@@ -88,6 +102,19 @@ func (rt *Runtime) MoveData2D(p *sim.Proc, dst *Buffer, src *Buffer,
 		return err
 	}
 	rt.chargeOverhead(p)
+	return rt.withRetry(p, "move_data_2d", func() error {
+		return rt.move2DOnce(p, dst, src, dstOff, dstStride, srcOff, srcStride, rows, rowBytes)
+	})
+}
+
+// move2DOnce is one attempt of MoveData2D. The whole block is one
+// injectable unit: a fault aborts the attempt and the retry re-issues every
+// row, which matches how a failed scatter/gather DMA is re-queued whole.
+func (rt *Runtime) move2DOnce(p *sim.Proc, dst *Buffer, src *Buffer,
+	dstOff, dstStride, srcOff, srcStride int64, rows int, rowBytes int) error {
+	if err := rt.faultTransfer(p, src, dst, int64(rows)*int64(rowBytes)); err != nil {
+		return err
+	}
 	phantom := rt.opts.Phantom
 	start := p.Now()
 	var cat trace.Category

@@ -28,6 +28,31 @@ func (rt *Runtime) DeviceReport() string {
 			n.String(), fmtMiB(rb), fmtMiB(wb), busy, 100*util, queued, wait)
 	}
 	fmt.Fprintf(&sb, "%-22s %46v\n", "elapsed", elapsed)
+	if rt.res.Any() {
+		sb.WriteString(rt.ResilienceReport())
+	}
+	return sb.String()
+}
+
+// ResilienceReport renders the runtime's fault-handling counters — how
+// many transient faults were observed and absorbed (retries, waited-out
+// outages, leaf failovers), and whether any operation gave up. With fault
+// injection enabled this is how graceful degradation is observed; without
+// it every line is zero.
+func (rt *Runtime) ResilienceReport() string {
+	var sb strings.Builder
+	s := rt.res
+	fmt.Fprintf(&sb, "%-22s %10s %10s %10s %10s %10s\n",
+		"resilience", "faults", "retries", "timeouts", "failovers", "gave-up")
+	fmt.Fprintf(&sb, "%-22s %10d %10d %10d %10d %10d\n",
+		"", s.Faults, s.Retries, s.Timeouts, s.Failovers, s.GaveUp)
+	if f := rt.opts.Faults; f != nil {
+		fs := f.Stats()
+		fmt.Fprintf(&sb, "%-22s %10s %10s %10s %10s\n",
+			"injected", "xfer-fail", "xfer-delay", "alloc-fail", "offline")
+		fmt.Fprintf(&sb, "%-22s %10d %10d %10d %10d\n",
+			"", fs.TransferFails, fs.TransferDelays, fs.AllocFails, fs.OfflineRejects)
+	}
 	return sb.String()
 }
 

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// newFaultyRuntime builds the 2-level SSD topology with the given injector
+// config attached.
+func newFaultyRuntime(t *testing.T, cfg fault.Config) (*sim.Engine, *Runtime, *fault.Injector) {
+	t.Helper()
+	e := sim.NewEngine()
+	tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD, StorageMiB: 256, DRAMMiB: 32})
+	inj := fault.New(e, cfg)
+	opts := DefaultOptions()
+	opts.Faults = inj
+	return e, NewRuntime(e, tree, opts), inj
+}
+
+func TestRetryAbsorbsTransferFaults(t *testing.T) {
+	_, rt, inj := newFaultyRuntime(t, fault.Config{Seed: 3, TransferFailRate: 0.3,
+		TransferDelayRate: 0.2, TransferDelay: sim.Microseconds(100)})
+	dram := rt.tree.Node(1)
+	_, err := rt.Run("retry", func(c *Ctx) error {
+		b, err := c.AllocAt(dram, 4096)
+		if err != nil {
+			return err
+		}
+		defer c.Release(b)
+		src, err := rt.CreateInput(rt.tree.Root(), "in", 4096, make([]byte, 4096))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 100; i++ {
+			if err := c.MoveDataDown(b, src, 0, 0, 4096); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Stats().Any() {
+		t.Fatal("30% fail rate over 100 moves injected nothing")
+	}
+	res := rt.Resilience()
+	if res.Retries == 0 || res.Faults == 0 {
+		t.Fatalf("faults injected but no retries recorded: %+v", res)
+	}
+	if res.GaveUp != 0 {
+		t.Fatalf("default policy gave up under 30%% faults: %+v", res)
+	}
+	if !strings.Contains(rt.ResilienceReport(), "retries") {
+		t.Error("resilience report missing retry column")
+	}
+}
+
+func TestAllocPressureRetried(t *testing.T) {
+	_, rt, inj := newFaultyRuntime(t, fault.Config{Seed: 11, AllocFailRate: 0.4})
+	dram := rt.tree.Node(1)
+	_, err := rt.Run("alloc-pressure", func(c *Ctx) error {
+		for i := 0; i < 50; i++ {
+			b, err := c.AllocAt(dram, 1024)
+			if err != nil {
+				return err
+			}
+			if err := c.Release(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Stats().AllocFails == 0 {
+		t.Fatal("40% alloc-fail rate over 50 allocs injected nothing")
+	}
+	if rt.Resilience().Retries == 0 {
+		t.Fatal("alloc pressure not retried")
+	}
+	if used := dram.Mem.Used(); used != 0 {
+		t.Fatalf("leaked %d bytes through retried allocs", used)
+	}
+}
+
+func TestRealCapacityExhaustionNotRetried(t *testing.T) {
+	_, rt, _ := newFaultyRuntime(t, fault.Config{Seed: 1})
+	dram := rt.tree.Node(1)
+	_, err := rt.Run("exhaust", func(c *Ctx) error {
+		if _, err := c.AllocAt(dram, 1<<40); err == nil {
+			t.Error("absurd allocation succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Resilience().Retries; got != 0 {
+		t.Fatalf("genuine ENOSPC was retried %d times", got)
+	}
+}
+
+func TestOfflineNodeWaitedOut(t *testing.T) {
+	e, rt, inj := newFaultyRuntime(t, fault.Config{Seed: 5})
+	// The staging DRAM (node 1) disappears for 5ms starting at t=0.
+	recovery := sim.Milliseconds(5)
+	inj.TakeNodeOffline(1, fault.Window{From: 0, Until: recovery})
+	dram := rt.tree.Node(1)
+	_, err := rt.Run("outage", func(c *Ctx) error {
+		src, err := rt.CreateInput(rt.tree.Root(), "in", 4096, make([]byte, 4096))
+		if err != nil {
+			return err
+		}
+		b, err := c.AllocAt(dram, 4096)
+		if err != nil {
+			return err
+		}
+		defer c.Release(b)
+		return c.MoveDataDown(b, src, 0, 0, 4096)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() < recovery {
+		t.Fatalf("run finished at %v, before the outage ended at %v", e.Now(), recovery)
+	}
+	if inj.Stats().OfflineRejects == 0 || rt.Resilience().Retries == 0 {
+		t.Fatalf("outage not observed: inj=%+v res=%+v", inj.Stats(), rt.Resilience())
+	}
+}
+
+func TestOpTimeoutRetriesSlowTransfers(t *testing.T) {
+	e := sim.NewEngine()
+	tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD, StorageMiB: 256, DRAMMiB: 32})
+	inj := fault.New(e, fault.Config{Seed: 9, TransferDelayRate: 0.5,
+		TransferDelay: sim.Milliseconds(50)})
+	opts := DefaultOptions()
+	opts.Faults = inj
+	// A 4 KiB DRAM<-SSD move takes ~microseconds; only injected 50ms delays
+	// can breach a 10ms deadline.
+	opts.Retry = RetryPolicy{MaxRetries: 20, BaseBackoff: sim.Microseconds(10),
+		MaxBackoff: sim.Milliseconds(1), OpTimeout: sim.Milliseconds(10)}
+	rt := NewRuntime(e, tree, opts)
+	dram := tree.Node(1)
+	_, err := rt.Run("slow", func(c *Ctx) error {
+		src, err := rt.CreateInput(tree.Root(), "in", 4096, make([]byte, 4096))
+		if err != nil {
+			return err
+		}
+		b, err := c.AllocAt(dram, 4096)
+		if err != nil {
+			return err
+		}
+		defer c.Release(b)
+		for i := 0; i < 20; i++ {
+			if err := c.MoveDataDown(b, src, 0, 0, 4096); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Resilience().Timeouts == 0 {
+		t.Fatalf("50%% x 50ms delays never breached the 10ms deadline: %+v", rt.Resilience())
+	}
+}
+
+func TestGiveUpAfterMaxRetries(t *testing.T) {
+	e := sim.NewEngine()
+	tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD, StorageMiB: 256, DRAMMiB: 32})
+	inj := fault.New(e, fault.Config{Seed: 2, TransferFailRate: 1}) // every transfer fails
+	opts := DefaultOptions()
+	opts.Faults = inj
+	opts.Retry = RetryPolicy{MaxRetries: 3, BaseBackoff: sim.Microseconds(10)}
+	rt := NewRuntime(e, tree, opts)
+	dram := tree.Node(1)
+	_, err := rt.Run("doomed", func(c *Ctx) error {
+		src, err := rt.CreateInput(tree.Root(), "in", 64, make([]byte, 64))
+		if err != nil {
+			return err
+		}
+		b, err := c.AllocAt(dram, 64)
+		if err != nil {
+			return err
+		}
+		defer c.Release(b)
+		return c.MoveDataDown(b, src, 0, 0, 64)
+	})
+	if err == nil {
+		t.Fatal("move survived a 100% failure rate")
+	}
+	if !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	res := rt.Resilience()
+	if res.GaveUp != 1 || res.Retries != 3 {
+		t.Fatalf("expected 3 retries then give-up, got %+v", res)
+	}
+}
+
+func TestRunStatsCarryResilienceDeltas(t *testing.T) {
+	_, rt, _ := newFaultyRuntime(t, fault.Config{Seed: 4, TransferFailRate: 0.5})
+	dram := rt.tree.Node(1)
+	move := func(name string) RunStats {
+		stats, err := rt.Run(name, func(c *Ctx) error {
+			src, err := rt.CreateInput(rt.tree.Root(), name, 4096, make([]byte, 4096))
+			if err != nil {
+				return err
+			}
+			b, err := c.AllocAt(dram, 4096)
+			if err != nil {
+				return err
+			}
+			defer c.Release(b)
+			for i := 0; i < 40; i++ {
+				if err := c.MoveDataDown(b, src, 0, 0, 4096); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	first := move("phase-1")
+	second := move("phase-2")
+	if first.Resilience.Retries == 0 || second.Resilience.Retries == 0 {
+		t.Fatalf("phases saw no retries: %+v / %+v", first.Resilience, second.Resilience)
+	}
+	total := rt.Resilience()
+	if got := first.Resilience.Retries + second.Resilience.Retries; got != total.Retries {
+		t.Fatalf("per-run deltas %d don't sum to cumulative %d", got, total.Retries)
+	}
+}

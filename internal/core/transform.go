@@ -39,20 +39,25 @@ func (rt *Runtime) MoveDataTransposeF32(p *sim.Proc, dst, src *Buffer, dstOff, s
 		return fmt.Errorf("core: transforming move of %dx%d block", rows, cols)
 	}
 	rt.chargeOverhead(p)
-	start := p.Now()
-	if !rt.opts.Phantom {
-		sv := view.F32(src.data[srcOff : srcOff+n])
-		dv := view.F32(dst.data[dstOff : dstOff+n])
-		if err := xfer.TransposeF32(dv, sv, rows, cols); err != nil {
+	return rt.withRetry(p, "move_data_transpose", func() error {
+		if err := rt.faultTransfer(p, src, dst, n); err != nil {
 			return err
 		}
-	}
-	// Normal migration cost...
-	rt.link(src, dst).Transfer(p, src.node.Mem, dst.node.Mem, n)
-	// ...plus the reorganization pass at the destination.
-	dst.node.Mem.Access(p, device.Write, dst.ext.Off+dstOff, n)
-	rt.bd.Add(trace.Transfer, p.Now()-start)
-	return nil
+		start := p.Now()
+		if !rt.opts.Phantom {
+			sv := view.F32(src.data[srcOff : srcOff+n])
+			dv := view.F32(dst.data[dstOff : dstOff+n])
+			if err := xfer.TransposeF32(dv, sv, rows, cols); err != nil {
+				return err
+			}
+		}
+		// Normal migration cost...
+		rt.link(src, dst).Transfer(p, src.node.Mem, dst.node.Mem, n)
+		// ...plus the reorganization pass at the destination.
+		dst.node.Mem.Access(p, device.Write, dst.ext.Off+dstOff, n)
+		rt.bd.Add(trace.Transfer, p.Now()-start)
+		return nil
+	})
 }
 
 // TransposeCostF32 returns the extra virtual time a transforming move adds

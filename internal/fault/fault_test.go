@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runOne drives a single process through fn and fails the test on engine
+// errors.
+func runOne(t *testing.T, e *sim.Engine, fn func(p *sim.Proc)) {
+	t.Helper()
+	e.Spawn("t", fn)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeededScheduleIsDeterministic(t *testing.T) {
+	schedule := func() string {
+		e := sim.NewEngine()
+		in := New(e, Config{Seed: 7, TransferFailRate: 0.2, TransferDelayRate: 0.2,
+			AllocFailRate: 0.2})
+		var log string
+		runOne(t, e, func(p *sim.Proc) {
+			for i := 0; i < 200; i++ {
+				terr := in.Transfer(p, 0, 1, 4096)
+				aerr := in.Alloc(p, 1, 64)
+				log += fmt.Sprintf("%d:%v:%v:%v\n", i, p.Now(), terr, aerr)
+			}
+		})
+		return log
+	}
+	if schedule() != schedule() {
+		t.Fatal("same seed produced different fault schedules")
+	}
+
+	e := sim.NewEngine()
+	other := New(e, Config{Seed: 8, TransferFailRate: 0.2, TransferDelayRate: 0.2,
+		AllocFailRate: 0.2})
+	var otherLog string
+	runOne(t, e, func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			terr := other.Transfer(p, 0, 1, 4096)
+			aerr := other.Alloc(p, 1, 64)
+			otherLog += fmt.Sprintf("%d:%v:%v:%v\n", i, p.Now(), terr, aerr)
+		}
+	})
+	if otherLog == schedule() {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestRatesRoughlyHonored(t *testing.T) {
+	e := sim.NewEngine()
+	in := New(e, Config{Seed: 42, TransferFailRate: 0.05})
+	const n = 4000
+	runOne(t, e, func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			_ = in.Transfer(p, 0, 1, 1)
+		}
+	})
+	fails := in.Stats().TransferFails
+	// 5% of 4000 = 200 expected; accept a generous band.
+	if fails < 120 || fails > 300 {
+		t.Fatalf("5%% fail rate injected %d/%d failures", fails, n)
+	}
+	if in.Stats().TransferDelays != 0 || in.Stats().AllocFails != 0 {
+		t.Fatalf("unconfigured fault classes fired: %+v", in.Stats())
+	}
+}
+
+func TestInjectedDelayStallsProcess(t *testing.T) {
+	e := sim.NewEngine()
+	in := New(e, Config{Seed: 1, TransferDelayRate: 1, TransferDelay: sim.Milliseconds(2)})
+	runOne(t, e, func(p *sim.Proc) {
+		if err := in.Transfer(p, 0, 1, 1); err != nil {
+			t.Errorf("delay-only config failed transfer: %v", err)
+		}
+		if p.Now() != sim.Milliseconds(2) {
+			t.Errorf("expected 2ms stall, clock at %v", p.Now())
+		}
+	})
+}
+
+func TestOutageWindows(t *testing.T) {
+	e := sim.NewEngine()
+	in := New(e, Config{Seed: 1})
+	in.TakeNodeOffline(2, Window{From: sim.Milliseconds(1), Until: sim.Milliseconds(3)})
+	in.TakeProcOffline(1, "gpu", Window{From: 0, Until: sim.Microseconds(10)})
+
+	runOne(t, e, func(p *sim.Proc) {
+		if err := in.Transfer(p, 0, 2, 1); err != nil {
+			t.Errorf("transfer before outage failed: %v", err)
+		}
+		if !in.ProcOffline(1, "gpu") {
+			t.Error("gpu outage window not open at t=0")
+		}
+		p.Sleep(sim.Milliseconds(1))
+		err := in.Transfer(p, 0, 2, 1)
+		var off *OfflineError
+		if !asOffline(err, &off) {
+			t.Fatalf("transfer inside outage returned %v", err)
+		}
+		if off.Node != 2 || off.Until != sim.Milliseconds(3) {
+			t.Errorf("offline error %+v, want node 2 until 3ms", off)
+		}
+		if !IsTransient(err) {
+			t.Error("offline error not transient")
+		}
+		if err := in.Alloc(p, 2, 64); !IsTransient(err) {
+			t.Errorf("alloc on offline node returned %v", err)
+		}
+		p.Sleep(sim.Milliseconds(2))
+		if err := in.Transfer(p, 0, 2, 1); err != nil {
+			t.Errorf("transfer after recovery failed: %v", err)
+		}
+		if in.ProcOffline(1, "gpu") {
+			t.Error("gpu outage window still open after recovery")
+		}
+	})
+	if in.Stats().OfflineRejects != 2 {
+		t.Errorf("expected 2 offline rejects, got %d", in.Stats().OfflineRejects)
+	}
+}
+
+func asOffline(err error, target **OfflineError) bool {
+	if e, ok := err.(*OfflineError); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestIsTransientRejectsOrdinaryErrors(t *testing.T) {
+	if IsTransient(nil) {
+		t.Error("nil is transient")
+	}
+	if IsTransient(fmt.Errorf("plain error")) {
+		t.Error("plain error is transient")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", &Error{Op: "transfer", Detail: "x"})) {
+		t.Error("wrapped injected fault not transient")
+	}
+}

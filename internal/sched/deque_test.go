@@ -117,6 +117,62 @@ func TestEveryTaskExactlyOnce(t *testing.T) {
 	}
 }
 
+func TestInterleavedStealingConservesTasks(t *testing.T) {
+	// Property: over several deques, any interleaving of owner pushes,
+	// owner pops and cross-queue steals (the engine serializes real
+	// schedulers exactly like this) neither loses nor duplicates a task —
+	// even across growth and wraparound.
+	f := func(script []uint8, nqRaw uint8) bool {
+		nq := int(nqRaw%4) + 2 // 2..5 queues
+		queues := make([]*Deque[int], nq)
+		for i := range queues {
+			queues[i] = NewDeque[int]("q")
+		}
+		next := 0 // every pushed task gets a unique identity
+		seen := make(map[int]bool)
+		deliver := func(v int) bool {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+			return true
+		}
+		for _, op := range script {
+			q := int(op>>2) % nq
+			switch op % 4 {
+			case 0, 1: // bias toward pushes so queues stay non-trivial
+				queues[q].PushTail(next)
+				next++
+			case 2:
+				if v, ok := queues[q].PopTail(); ok && !deliver(v) {
+					return false
+				}
+			case 3:
+				if v, _, ok := StealFrom(queues, q); ok && !deliver(v) {
+					return false
+				}
+			}
+		}
+		for _, q := range queues {
+			for {
+				v, ok := q.PopTail()
+				if !ok {
+					break
+				}
+				if !deliver(v) {
+					return false
+				}
+			}
+		}
+		// No duplicates (checked above) and nothing lost: every identity
+		// ever pushed was delivered exactly once.
+		return len(seen) == next && TotalLen(queues) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPartitionRoundRobin(t *testing.T) {
 	items := make([]int, 10)
 	for i := range items {
