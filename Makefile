@@ -1,14 +1,15 @@
 # Build and test gates for the Northup reproduction.
 #
-#   make check   tier-1 gate: build + full test suite (the CI floor)
-#   make strict  tier-2 gate: vet + race-instrumented tests
-#   make all     both gates
+#   make check      tier-1 gate: build + full test suite (the CI floor)
+#   make strict     tier-2 gate: vet + race-instrumented tests
+#   make bench-json staging-cache figure benchmarks -> BENCH_cache.json
+#   make all        both gates plus the benchmark artifact
 
 GO ?= go
 
-.PHONY: all build test vet race check strict bench clean
+.PHONY: all build test vet race check strict bench bench-json clean
 
-all: check strict
+all: check strict bench-json
 
 build:
 	$(GO) build ./...
@@ -31,5 +32,12 @@ strict: vet race
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
+# Machine-readable staging-cache sweep (name, virtual time, speedup, hit
+# rate per capacity point), plus the matching -benchtime=1x ablation run.
+bench-json:
+	$(GO) run ./cmd/northup-bench -fig cache -format json > BENCH_cache.json
+	$(GO) test -bench=BenchmarkAblationShardCache -benchtime=1x -run=^$$ .
+
 clean:
 	$(GO) clean ./...
+	rm -f BENCH_cache.json

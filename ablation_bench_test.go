@@ -12,10 +12,12 @@ import (
 
 	"repro/internal/apps/gemm"
 	"repro/internal/apps/hotspot"
+	"repro/internal/apps/spmv"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func phantomOpts() core.Options {
@@ -200,6 +202,52 @@ func BenchmarkAblationLayoutTransform(b *testing.B) {
 				b.ReportMetric(elapsed.Seconds()*1e6, "virtual-us")
 			})
 		}
+	}
+}
+
+// BenchmarkAblationShardCache sweeps the reuse-aware staging cache's
+// capacity for the SpMV power iteration on the SSD tree: every iteration
+// re-reads the whole matrix from storage, so resident shards convert that
+// traffic into hits. Capacity 0 is the uncached baseline; 1792 MiB holds
+// the whole ~528 MiB matrix. Metrics: virtual seconds, speedup over
+// uncached, and hit rate.
+func BenchmarkAblationShardCache(b *testing.B) {
+	const rows = 4_194_304 // 4M rows x 16 nnz/row ~= 528 MiB of matrix
+	var baseline sim.Time
+	for _, capMiB := range []int64{0, 256, 1024, 1792} {
+		name := "uncached"
+		if capMiB > 0 {
+			name = fmt.Sprintf("cache-%dmib", capMiB)
+		}
+		b.Run(name, func(b *testing.B) {
+			var elapsed sim.Time
+			var cs trace.CacheStats
+			for i := 0; i < b.N; i++ {
+				e := sim.NewEngine()
+				tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD,
+					StorageMiB: 24576, DRAMMiB: 2048, WithCPU: true})
+				opts := phantomOpts()
+				opts.Cache = core.CacheOptions{Enabled: capMiB > 0,
+					CapacityBytes: capMiB << 20, Prefetch: capMiB > 0}
+				rt := core.NewRuntime(e, tree, opts)
+				res, err := spmv.RunNorthup(rt, spmv.Config{
+					N: rows, AvgNNZ: 16, Kind: workload.SparseUniform,
+					Seed: 3, Chunks: 4, Iters: 6})
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed = res.Stats.Elapsed
+				cs = rt.CacheStats()
+			}
+			if capMiB == 0 {
+				baseline = elapsed
+			}
+			b.ReportMetric(elapsed.Seconds(), "virtual-s")
+			if baseline > 0 {
+				b.ReportMetric(float64(baseline)/float64(elapsed), "speedup")
+			}
+			b.ReportMetric(cs.HitRate(), "hit-rate")
+		})
 	}
 }
 

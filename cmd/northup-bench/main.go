@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	northup-bench [-fig 6|7|8|8disk|9|11|overhead|all] [-scale 1|2|4|8]
+//	northup-bench [-fig 6|7|8|8disk|9|11|overhead|cache|all] [-scale 1|2|4|8]
+//	              [-format table|csv|json]
 //
 // Each figure driver runs the real runtime and applications in phantom
 // (timing-only) mode at the paper's input sizes and prints the rows/series
@@ -20,9 +21,9 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 8disk, 9, 11, overhead, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 8disk, 9, 11, overhead, cache, all")
 	scale := flag.Int("scale", 1, "divide the paper's input dimensions (1, 2, 4, 8)")
-	format := flag.String("format", "table", "output format: table or csv")
+	format := flag.String("format", "table", "output format: table, csv, or json (cache only)")
 	flag.Parse()
 
 	o := figures.Options{Scale: *scale}
@@ -33,8 +34,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "northup-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		if *format == "csv" {
+		switch *format {
+		case "csv":
 			fmt.Print(res.CSV())
+			return
+		case "json":
+			j, ok := res.(interface{ JSON() string })
+			if !ok {
+				fmt.Fprintf(os.Stderr, "northup-bench: %s has no JSON rendering\n", name)
+				os.Exit(2)
+			}
+			fmt.Print(j.JSON())
 			return
 		}
 		fmt.Println(res)
@@ -42,9 +52,9 @@ func main() {
 	}
 
 	known := map[string]bool{"all": true, "6": true, "7": true, "8": true,
-		"8disk": true, "9": true, "11": true, "overhead": true}
+		"8disk": true, "9": true, "11": true, "overhead": true, "cache": true}
 	if !known[*fig] {
-		fmt.Fprintf(os.Stderr, "northup-bench: unknown figure %q (want 6, 7, 8, 8disk, 9, 11, overhead, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "northup-bench: unknown figure %q (want 6, 7, 8, 8disk, 9, 11, overhead, cache, all)\n", *fig)
 		os.Exit(2)
 	}
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -69,5 +79,8 @@ func main() {
 	}
 	if want("overhead") {
 		run("runtime overhead (§V-B)", func() (figures.Renderer, error) { return figures.Overhead(o) })
+	}
+	if want("cache") {
+		run("staging-cache ablation", func() (figures.Renderer, error) { return figures.CacheAblation(o) })
 	}
 }

@@ -6,6 +6,12 @@
 //	northup-run -app gemm|hotspot|spmv [-preset apu|apu-hdd|discrete|nvm|inmemory]
 //	            [-spec file.json] [-n N] [-chunk D] [-iters K] [-phantom]
 //	            [-faults seed=N,rate=P,...] [-retries K]
+//	            [-cache] [-cache-mib M] [-cache-share F] [-prefetch]
+//
+// With -cache the runtime interposes a reuse-aware staging cache on the
+// MoveDataDownCached path: repeated reads of the same source extent are
+// served from resident buffers (LRU-evicted, pinnable), the breakdown gains
+// a cache line, and the report ends with per-node pool occupancy.
 //
 // With -faults the run injects deterministic transfer/allocation faults and
 // outages (see northup.ParseFaults for the full syntax); the runtime absorbs
@@ -40,6 +46,10 @@ func main() {
 	faults := flag.String("faults", "",
 		"fault injection: seed=N,rate=P[,delay-rate=P][,delay-us=D][,alloc-rate=P][,offline=NODE[/gpu|/cpu]:FROM_MS:UNTIL_MS]")
 	retries := flag.Int("retries", 0, "max retries per operation (0 = default policy)")
+	cacheOn := flag.Bool("cache", false, "enable the reuse-aware staging cache on memory nodes")
+	cacheMiB := flag.Int64("cache-mib", 0, "cache capacity per node in MiB (0 = -cache-share of the node)")
+	cacheShare := flag.Float64("cache-share", 0, "cache capacity as a fraction of each node (0 = default 0.5)")
+	prefetch := flag.Bool("prefetch", false, "enable lookahead prefetch into the staging cache")
 	flag.Parse()
 
 	e := northup.NewEngine()
@@ -60,6 +70,14 @@ func main() {
 		p := northup.DefaultRetryPolicy()
 		p.MaxRetries = *retries
 		opts.Retry = p
+	}
+	if *cacheOn {
+		opts.Cache = northup.CacheOptions{
+			Enabled:       true,
+			CapacityBytes: *cacheMiB << 20,
+			CapacityShare: *cacheShare,
+			Prefetch:      *prefetch,
+		}
 	}
 	rt := northup.NewRuntime(e, tree, opts)
 
@@ -128,6 +146,9 @@ func main() {
 
 	fmt.Printf("\nsimulated execution: %v\n", stats.Elapsed)
 	fmt.Print(stats.Breakdown.Report())
+	if *cacheOn {
+		fmt.Print(rt.CacheReport())
+	}
 	if *faults != "" {
 		fmt.Print(rt.ResilienceReport())
 	}

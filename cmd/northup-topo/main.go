@@ -6,6 +6,10 @@
 //
 //	northup-topo -preset apu|apu-hdd|discrete|inmemory [-dot]
 //	northup-topo -spec topology.json [-dot]
+//	northup-topo -preset apu -cache [-cache-mib M] [-cache-share F] [-prefetch]
+//
+// With -cache the outline is followed by each memory node's staging-cache
+// capacity and policy, as a runtime with that configuration would run it.
 package main
 
 import (
@@ -20,6 +24,10 @@ func main() {
 	preset := flag.String("preset", "", "built-in topology: apu, apu-hdd, discrete, inmemory")
 	specPath := flag.String("spec", "", "JSON topology spec file")
 	dot := flag.Bool("dot", false, "emit Graphviz dot instead of the outline")
+	cacheOn := flag.Bool("cache", false, "show each memory node's staging-cache capacity and policy")
+	cacheMiB := flag.Int64("cache-mib", 0, "cache capacity per node in MiB (0 = -cache-share of the node)")
+	cacheShare := flag.Float64("cache-share", 0, "cache capacity as a fraction of each node (0 = default 0.5)")
+	prefetch := flag.Bool("prefetch", false, "include the lookahead prefetcher in the policy line")
 	flag.Parse()
 
 	e := northup.NewEngine()
@@ -61,6 +69,17 @@ func main() {
 	fmt.Print(tree.String())
 	fmt.Printf("levels: %d, nodes: %d, leaves: %d\n",
 		tree.Levels(), tree.NumNodes(), len(tree.Leaves()))
+	if *cacheOn {
+		opts := northup.DefaultOptions()
+		opts.Cache = northup.CacheOptions{
+			Enabled:       true,
+			CapacityBytes: *cacheMiB << 20,
+			CapacityShare: *cacheShare,
+			Prefetch:      *prefetch,
+		}
+		rt := northup.NewRuntime(e, tree, opts)
+		fmt.Print(rt.CacheReport())
+	}
 }
 
 func fatal(err error) {

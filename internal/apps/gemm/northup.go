@@ -141,17 +141,17 @@ func RunNorthup(rt *core.Runtime, cfg Config) (*Result, error) {
 	stats, err := rt.Run("gemm-northup", func(c *core.Ctx) error {
 		// §VI staging: read B from storage once and keep it resident at
 		// the (large, NVM-class) staging level; all column-shard reloads
-		// then stay on-node instead of going back to the root.
+		// then stay on-node instead of going back to the root. Residency is
+		// a pinned whole-B fetch through the staging cache; with the cache
+		// disabled the fetch degrades to a private staged copy with the
+		// same bytes and timing.
 		colSrc := fb
 		if cfg.StageB {
-			bRes, err := c.AllocAt(dram, elems*4)
+			bRes, err := c.MoveDataDownCached(dram, fb, 0, elems*4)
 			if err != nil {
 				return err
 			}
-			defer c.Release(bRes)
-			if err := c.MoveDataDown(bRes, fb, 0, 0, elems*4); err != nil {
-				return err
-			}
+			defer c.Unpin(bRes)
 			colSrc = bRes
 		}
 		rowShard, err := c.AllocAt(dram, shardBytes)
@@ -174,12 +174,30 @@ func RunNorthup(rt *core.Runtime, cfg Config) (*Result, error) {
 			}
 			err := stageRunner(cb, depth,
 				func(sub *core.Ctx, j int) error { // load column shard
-					buf, err := sub.AllocAt(dram, shardBytes)
+					if cfg.StageB {
+						// B is already resident at the staging level: the
+						// reload is an on-node copy out of the pinned image.
+						buf, err := sub.AllocAt(dram, shardBytes)
+						if err != nil {
+							return err
+						}
+						colShards[j] = buf
+						return sub.MoveData(buf, colSrc, 0, int64(j)*shardBytes, shardBytes)
+					}
+					// Without StageB the column shard comes straight from
+					// storage; the staging cache turns the cb-1 re-reads of
+					// each shard (one per block row) into hits, and the
+					// pipeline's deterministic schedule makes j+1 the next
+					// load — prefetch it behind this one.
+					buf, err := sub.MoveDataDownCached(dram, fb, int64(j)*shardBytes, shardBytes)
 					if err != nil {
 						return err
 					}
 					colShards[j] = buf
-					return sub.MoveData(buf, colSrc, 0, int64(j)*shardBytes, shardBytes)
+					if j+1 < cb {
+						sub.Prefetch(dram, fb, int64(j+1)*shardBytes, shardBytes)
+					}
+					return nil
 				},
 				func(sub *core.Ctx, j int) error { // recursive multiply
 					buf, err := sub.AllocAt(dram, blockBytes)
@@ -190,7 +208,11 @@ func RunNorthup(rt *core.Runtime, cfg Config) (*Result, error) {
 					err = sub.Descend(dram, func(dc *core.Ctx) error {
 						return multiplyShard(dc, rowShard, colShards[j], buf, s, n, s, functional)
 					})
-					sub.Release(colShards[j])
+					if cfg.StageB {
+						sub.Release(colShards[j])
+					} else {
+						sub.Unpin(colShards[j])
+					}
 					colShards[j] = nil
 					return err
 				},

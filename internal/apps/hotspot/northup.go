@@ -207,17 +207,22 @@ func runChunked(rt *core.Runtime, cfg Config, compute chunkComputeFn) (*Result, 
 					if s.tout, err = sub.AllocAt(dram, chunkBytes); err != nil {
 						return err
 					}
-					if s.pow, err = sub.AllocAt(dram, chunkBytes); err != nil {
+					// Power never changes across iterations or passes, so
+					// its chunks come through the staging cache: pass 2+
+					// re-reads hit instead of going back to storage. The
+					// temperature and border files are rewritten every pass
+					// and must not be cached.
+					if s.pow, err = sub.MoveDataDownCached(dram, fP, int64(ci)*chunkBytes, chunkBytes); err != nil {
 						return err
+					}
+					if ci+1 < chunks {
+						sub.Prefetch(dram, fP, int64(ci+1)*chunkBytes, chunkBytes)
 					}
 					if s.bord, err = sub.AllocAt(dram, borderBytes); err != nil {
 						return err
 					}
 					slots[ci] = s
 					if err := sub.MoveData(s.tin, src, 0, int64(ci)*chunkBytes, chunkBytes); err != nil {
-						return err
-					}
-					if err := sub.MoveData(s.pow, fP, 0, int64(ci)*chunkBytes, chunkBytes); err != nil {
 						return err
 					}
 					return sub.MoveData(s.bord, bSrc, 0, borderOff(ci, d), borderBytes)
@@ -244,7 +249,7 @@ func runChunked(rt *core.Runtime, cfg Config, compute chunkComputeFn) (*Result, 
 					}
 					sub.Release(s.tin)
 					sub.Release(s.tout)
-					sub.Release(s.pow)
+					sub.Unpin(s.pow)
 					sub.Release(s.bord)
 					slots[ci] = inflight{}
 					return nil

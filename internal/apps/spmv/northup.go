@@ -291,26 +291,34 @@ func RunNorthup(rt *core.Runtime, cfg Config) (*Result, error) {
 					sh := shards[si]
 					rows := sh.r1 - sh.r0
 					shardNNZ := int64(rowPtrHost[sh.r1] - rowPtrHost[sh.r0])
+					off := int64(rowPtrHost[sh.r0]) * 4
+					// The matrix extents are read-only and re-read on every
+					// power iteration, so they go through the staging cache:
+					// iteration 1 streams from storage, later iterations hit
+					// resident shards (capacity permitting).
 					var s inflight
 					var err error
-					if s.row, err = sub.AllocAt(dram, int64(rows+1)*4); err != nil {
+					if s.row, err = sub.MoveDataDownCached(dram, fRow, int64(sh.r0)*4, int64(rows+1)*4); err != nil {
 						return err
 					}
-					if s.col, err = sub.AllocAt(dram, shardNNZ*4); err != nil {
+					if s.col, err = sub.MoveDataDownCached(dram, fCol, off, shardNNZ*4); err != nil {
 						return err
 					}
-					if s.val, err = sub.AllocAt(dram, shardNNZ*4); err != nil {
+					if s.val, err = sub.MoveDataDownCached(dram, fVal, off, shardNNZ*4); err != nil {
 						return err
 					}
 					slots[si] = s
-					if err := sub.MoveData(s.row, fRow, 0, int64(sh.r0)*4, int64(rows+1)*4); err != nil {
-						return err
+					// The pipeline schedule is deterministic: shard si+1 loads
+					// next. Hint its extents behind this shard's fetches.
+					if nx := si + 1; nx < len(shards) {
+						nsh := shards[nx]
+						noff := int64(rowPtrHost[nsh.r0]) * 4
+						nNNZ := int64(rowPtrHost[nsh.r1] - rowPtrHost[nsh.r0])
+						sub.Prefetch(dram, fRow, int64(nsh.r0)*4, int64(nsh.r1-nsh.r0+1)*4)
+						sub.Prefetch(dram, fCol, noff, nNNZ*4)
+						sub.Prefetch(dram, fVal, noff, nNNZ*4)
 					}
-					off := int64(rowPtrHost[sh.r0]) * 4
-					if err := sub.MoveData(s.col, fCol, 0, off, shardNNZ*4); err != nil {
-						return err
-					}
-					return sub.MoveData(s.val, fVal, 0, off, shardNNZ*4)
+					return nil
 				},
 				func(sub *core.Ctx, si int) error { // bin on CPU, compute at leaf
 					sh := shards[si]
@@ -319,9 +327,9 @@ func RunNorthup(rt *core.Runtime, cfg Config) (*Result, error) {
 						return computeShard(dc, cfg, sh, s.row, s.col, s.val,
 							xLeafBuf, yStage, yView, rowPtrHost, functional)
 					})
-					sub.Release(s.row)
-					sub.Release(s.col)
-					sub.Release(s.val)
+					sub.Unpin(s.row)
+					sub.Unpin(s.col)
+					sub.Unpin(s.val)
 					slots[si] = inflight{}
 					return err
 				},

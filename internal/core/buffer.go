@@ -22,13 +22,18 @@ import (
 type Buffer struct {
 	node *topo.Node
 	size int64
+	id   int64 // stable identity; cache entries key on it
 
 	ext  alloc.Extent  // mem-kind nodes
 	data []byte        // mem-kind nodes: functional payload
 	file *storage.File // file-backed nodes
 
+	cref     *cacheRef // non-nil when the cached move path owns/tracks it
 	released bool
 }
+
+// ID returns the buffer's stable identity (the Src half of a cache key).
+func (b *Buffer) ID() int64 { return b.id }
 
 // Node returns the tree node the buffer lives on.
 func (b *Buffer) Node() *topo.Node { return b.node }
@@ -101,6 +106,13 @@ func (rt *Runtime) AllocAt(p *sim.Proc, node *topo.Node, size int64) (*Buffer, e
 			return nil
 		}
 		ext, err := rt.allocs[node.ID].Alloc(size)
+		// Under pressure the node's staging cache gives ground: evict one
+		// LRU entry at a time until the allocation fits or nothing
+		// evictable remains — the application's working set always wins
+		// over cached copies.
+		for err != nil && rt.cacheRelieve(p, node) {
+			ext, err = rt.allocs[node.ID].Alloc(size)
+		}
 		if err != nil {
 			return fmt.Errorf("core: alloc on %v: %w", node, err)
 		}
@@ -113,16 +125,21 @@ func (rt *Runtime) AllocAt(p *sim.Proc, node *topo.Node, size int64) (*Buffer, e
 	if err != nil {
 		return nil, err
 	}
+	b.id = rt.nextBufID()
 	return b, nil
 }
 
 // Release frees the buffer's space (Table I's release). Releasing nil or
 // releasing twice returns an error (and frees nothing), so recovery paths
 // that double-release under fault cleanup degrade to an error instead of
-// crashing the whole simulation.
+// crashing the whole simulation. Buffers owned by the staging cache are
+// refused — their lifetime belongs to the pool; let go with Unpin.
 func (rt *Runtime) Release(p *sim.Proc, b *Buffer) error {
 	if b == nil {
 		return fmt.Errorf("core: release of nil buffer")
+	}
+	if b.cref != nil && b.cref.entry != nil {
+		return fmt.Errorf("core: release of cache-owned buffer on %v (use Unpin)", b.node)
 	}
 	if b.released {
 		return fmt.Errorf("core: double release of buffer on %v", b.node)
@@ -146,7 +163,7 @@ func (rt *Runtime) WrapFile(node *topo.Node, f *storage.File) *Buffer {
 	if node.Store == nil {
 		panic(fmt.Sprintf("core: WrapFile on non-storage node %v", node))
 	}
-	return &Buffer{node: node, size: f.Size(), file: f}
+	return &Buffer{node: node, size: f.Size(), file: f, id: rt.nextBufID()}
 }
 
 // Phantom reports whether the runtime is in timing-only mode.

@@ -64,6 +64,11 @@ type Options struct {
 	// is replaced by DefaultRetryPolicy when Faults is set; without an
 	// injector it leaves genuine errors un-retried.
 	Retry RetryPolicy
+
+	// Cache configures the per-memory-node staging cache serving repeated
+	// MoveDataDownCached calls from resident buffers (see cache.go). The
+	// zero value disables it.
+	Cache CacheOptions
 }
 
 // DefaultOptions returns the standard bookkeeping costs.
@@ -78,12 +83,20 @@ type Runtime struct {
 	opts   Options
 
 	allocs map[int]*alloc.Allocator // node ID -> allocator (mem-kind nodes)
+	caches map[int]*nodeCache       // node ID -> staging cache (lazy, see cache.go)
 	pcie   *device.Link
 	dma    *device.Link
 
 	bd     trace.Breakdown
 	res    ResilienceStats
 	bufSeq int
+	bufIDs int64 // stable buffer identities keying cache entries
+}
+
+// nextBufID mints the next stable buffer identity.
+func (rt *Runtime) nextBufID() int64 {
+	rt.bufIDs++
+	return rt.bufIDs
 }
 
 // NewRuntime creates a runtime for the tree. The engine must be the one the
@@ -97,6 +110,7 @@ func NewRuntime(e *sim.Engine, t *topo.Tree, opts Options) *Runtime {
 		tree:   t,
 		opts:   opts,
 		allocs: make(map[int]*alloc.Allocator),
+		caches: make(map[int]*nodeCache),
 		pcie:   device.PCIeLink(e),
 		dma:    device.DMALink(e),
 	}

@@ -88,6 +88,32 @@ func (c *Ctx) MoveDataDown(dst, src *Buffer, dstOff, srcOff, n int64) error {
 	return c.MoveData(dst, src, dstOff, srcOff, n)
 }
 
+// MoveDataDownCached serves src[srcOff:srcOff+n) as a buffer resident on
+// child, through the child's staging cache: a repeat of the same source
+// extent is a hit and costs no edge crossing. The returned buffer is
+// pinned for the caller and read-only; let go with Unpin (never Release),
+// and never move data into it. With the cache disabled the call degrades
+// to plain alloc + move (the returned buffer is then private, and Unpin
+// releases it), so applications use one code path either way.
+func (c *Ctx) MoveDataDownCached(child *topo.Node, src *Buffer, srcOff, n int64) (*Buffer, error) {
+	return c.rt.moveDataDownCached(c.p, c.node, child, src, srcOff, n)
+}
+
+// Pin takes an extra reference on a buffer returned by MoveDataDownCached
+// so the cache cannot evict it mid-compute.
+func (c *Ctx) Pin(b *Buffer) error { return c.rt.Pin(c.p, b) }
+
+// Unpin releases one reference taken by MoveDataDownCached or Pin.
+func (c *Ctx) Unpin(b *Buffer) error { return c.rt.Unpin(c.p, b) }
+
+// Prefetch asks the child's staging cache to fetch src[srcOff:srcOff+n)
+// asynchronously — the lookahead a deterministic chunk schedule (a
+// Pipeline's next item) makes possible. It is advisory and never fails;
+// see Runtime cache.go.
+func (c *Ctx) Prefetch(child *topo.Node, src *Buffer, srcOff, n int64) {
+	c.rt.prefetchDown(c.p, c.node, child, src, srcOff, n)
+}
+
 // MoveDataUp moves bytes from a buffer on a child of the current node back
 // to a buffer on the current node (Table I's move_data_up).
 func (c *Ctx) MoveDataUp(dst, src *Buffer, dstOff, srcOff, n int64) error {
@@ -141,6 +167,30 @@ func (c *Ctx) Spawn(name string, node *topo.Node, fn func(*Ctx) error) *Join {
 	return j
 }
 
+// errOnce latches the first error a group of cooperating tasks reports, so
+// no error is ever dropped between the check and the assignment. The
+// single-threaded simulation interleaves tasks only at blocking points, so
+// a bare field happens to work today — but check-then-assign from many
+// tasks is exactly the fragile pattern a true-parallel backend (or the
+// race detector, on a code motion) would break; one type with latch-once
+// semantics keeps every stage runner honest.
+type errOnce struct {
+	err error
+}
+
+// record keeps err if it is the first non-nil error observed.
+func (o *errOnce) record(err error) {
+	if err != nil && o.err == nil {
+		o.err = err
+	}
+}
+
+// failed reports whether an error has been latched.
+func (o *errOnce) failed() bool { return o.err != nil }
+
+// first returns the latched error, or nil.
+func (o *errOnce) first() error { return o.err }
+
 // ParallelFor executes body for i in [0, n) using up to width concurrent
 // tasks at the current node — the "#pragma for all (m, n)" loop of
 // Listing 3. It returns the first error encountered (remaining iterations
@@ -156,26 +206,24 @@ func (c *Ctx) ParallelFor(n, width int, body func(sub *Ctx, i int) error) error 
 		width = n
 	}
 	next := 0
-	var firstErr error
+	var eo errOnce
 	wg := sim.NewWaitGroup(c.rt.engine)
 	for w := 0; w < width; w++ {
 		wg.Add(1)
 		c.Spawn(fmt.Sprintf("%s-pf%d", c.p.Name(), w), c.node, func(sub *Ctx) error {
 			defer wg.Done()
 			for {
-				if firstErr != nil || next >= n {
+				if eo.failed() || next >= n {
 					return nil
 				}
 				i := next
 				next++
-				if err := body(sub, i); err != nil && firstErr == nil {
-					firstErr = err
-				}
+				eo.record(body(sub, i))
 			}
 		})
 	}
 	wg.Wait(c.p)
-	return firstErr
+	return eo.first()
 }
 
 // Pipeline runs n items through the given stages with bounded buffering:
@@ -197,7 +245,7 @@ func (c *Ctx) Pipeline(n, depth int, stages ...func(sub *Ctx, i int) error) erro
 	for i := range chans {
 		chans[i] = sim.NewChan(c.rt.engine, depth-1)
 	}
-	var firstErr error
+	var eo errOnce
 	wg := sim.NewWaitGroup(c.rt.engine)
 	for s := 0; s < nstages; s++ {
 		wg.Add(1)
@@ -209,10 +257,8 @@ func (c *Ctx) Pipeline(n, depth int, stages ...func(sub *Ctx, i int) error) erro
 						return nil // upstream aborted
 					}
 				}
-				if firstErr == nil {
-					if err := stages[s](sub, i); err != nil && firstErr == nil {
-						firstErr = err
-					}
+				if !eo.failed() {
+					eo.record(stages[s](sub, i))
 				}
 				if s < nstages-1 {
 					chans[s].Send(sub.p, i)
@@ -225,7 +271,7 @@ func (c *Ctx) Pipeline(n, depth int, stages ...func(sub *Ctx, i int) error) erro
 		})
 	}
 	wg.Wait(c.p)
-	return firstErr
+	return eo.first()
 }
 
 // Sequential runs n items through the stages strictly in order with no

@@ -23,9 +23,16 @@ func (rt *Runtime) MoveData(p *sim.Proc, dst *Buffer, src *Buffer, dstOff, srcOf
 	if err := checkMove(dst, src, dstOff, srcOff, n); err != nil {
 		return err
 	}
+	if err := rt.checkMoveDst(dst); err != nil {
+		return err
+	}
 	if n == 0 {
 		return nil
 	}
+	// Invalidate once, outside the retry loop: cached copies of the written
+	// range must vanish whether or not the move needs re-attempts, and a
+	// retried move must not double-count invalidations.
+	rt.invalidateRange(p, dst, dstOff, n)
 	rt.chargeOverhead(p)
 	return rt.withRetry(p, "move_data", func() error {
 		return rt.moveOnce(p, dst, src, dstOff, srcOff, n)
@@ -101,6 +108,10 @@ func (rt *Runtime) MoveData2D(p *sim.Proc, dst *Buffer, src *Buffer,
 		dstOff+int64(rows-1)*dstStride, srcOff+int64(rows-1)*srcStride, int64(rowBytes)); err != nil {
 		return err
 	}
+	if err := rt.checkMoveDst(dst); err != nil {
+		return err
+	}
+	rt.invalidateRange(p, dst, dstOff, int64(rows-1)*dstStride+int64(rowBytes))
 	rt.chargeOverhead(p)
 	return rt.withRetry(p, "move_data_2d", func() error {
 		return rt.move2DOnce(p, dst, src, dstOff, dstStride, srcOff, srcStride, rows, rowBytes)

@@ -38,6 +38,10 @@ func (rt *Runtime) MoveDataTransposeF32(p *sim.Proc, dst, src *Buffer, dstOff, s
 	if rows <= 0 || cols <= 0 {
 		return fmt.Errorf("core: transforming move of %dx%d block", rows, cols)
 	}
+	if err := rt.checkMoveDst(dst); err != nil {
+		return err
+	}
+	rt.invalidateRange(p, dst, dstOff, n)
 	rt.chargeOverhead(p)
 	return rt.withRetry(p, "move_data_transpose", func() error {
 		if err := rt.faultTransfer(p, src, dst, n); err != nil {

@@ -1,0 +1,193 @@
+package figures
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/apps/spmv"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The staging-cache ablation: SpMV power iteration on the SSD tree, sweeping
+// the cache capacity from off to (nearly) the whole staging level. The
+// matrix extents are re-read every iteration, so the runtime the sweep
+// removes is exactly the repeated storage traffic the reuse-aware cache is
+// built to absorb; the uncached row is the baseline every speedup is
+// normalized to.
+
+// cacheAblationIters is the power-iteration count of the sweep. Iteration 1
+// warms the cache; iterations 2..k are where hits replace storage reads.
+const cacheAblationIters = 6
+
+// cacheSpmvRows is the paper-scale row count of the ablation input: 4M rows
+// at 16 nnz/row is a ~528 MiB matrix, sized so the full-capacity row keeps
+// the whole matrix resident inside a 2 GiB staging level while the working
+// set (pipeline slots + vectors) still fits beside it.
+const cacheSpmvRows = 4_194_304
+
+// CacheRow is one capacity point of the ablation.
+type CacheRow struct {
+	// CapacityMiB is the cache capacity; 0 is the uncached baseline.
+	CapacityMiB int64
+	// Prefetch reports whether the lookahead prefetcher ran.
+	Prefetch bool
+	Elapsed  sim.Time
+	// Speedup is baseline elapsed over this row's elapsed (>= 1 when the
+	// cache helps).
+	Speedup float64
+	Stats   trace.CacheStats
+}
+
+// CacheResult carries the sweep.
+type CacheResult struct {
+	Rows []CacheRow
+}
+
+// cacheCapacities returns the sweep points as fractions of the staging
+// capacity: off, 1/8, 1/2, and 7/8 (full minus working-set headroom).
+func cacheCapacities(stageMiB int64) []int64 {
+	return []int64{0, stageMiB / 8, stageMiB / 2, stageMiB * 7 / 8}
+}
+
+// CacheAblation sweeps the staging-cache capacity for the SpMV power
+// iteration on the SSD tree and reports virtual time, speedup over the
+// uncached baseline, and hit statistics per point.
+func CacheAblation(o Options) (*CacheResult, error) {
+	o, err := o.norm()
+	if err != nil {
+		return nil, err
+	}
+	res := &CacheResult{}
+	var baseline sim.Time
+	for _, capMiB := range cacheCapacities(o.stageMiB()) {
+		elapsed, cs, err := o.runCachedSpMV(capMiB, capMiB > 0)
+		if err != nil {
+			return nil, err
+		}
+		if baseline == 0 {
+			baseline = elapsed
+		}
+		res.Rows = append(res.Rows, CacheRow{
+			CapacityMiB: capMiB,
+			Prefetch:    capMiB > 0,
+			Elapsed:     elapsed,
+			Speedup:     float64(baseline) / float64(elapsed),
+			Stats:       cs,
+		})
+	}
+	return res, nil
+}
+
+// runCachedSpMV executes one sweep point: the SpMV power iteration on a
+// fresh SSD tree with the given cache capacity (0 disables the cache).
+func (o Options) runCachedSpMV(capMiB int64, prefetch bool) (sim.Time, trace.CacheStats, error) {
+	e := sim.NewEngine()
+	opts := core.DefaultOptions()
+	opts.Phantom = true
+	opts.Cache = core.CacheOptions{
+		Enabled:       capMiB > 0,
+		CapacityBytes: capMiB << 20,
+		Prefetch:      prefetch,
+	}
+	tree := topo.APU(e, topo.APUConfig{
+		Storage:    topo.SSD,
+		StorageMiB: o.storageMiB(),
+		DRAMMiB:    o.stageMiB(),
+		WithCPU:    true,
+	})
+	rt := core.NewRuntime(e, tree, opts)
+	cfg := spmv.Config{
+		N:      cacheSpmvRows / (o.Scale * o.Scale),
+		AvgNNZ: paperSpmvNNZ,
+		Kind:   workload.SparseUniform,
+		Seed:   3,
+		Chunks: 4,
+		Iters:  cacheAblationIters,
+	}
+	r, err := spmv.RunNorthup(rt, cfg)
+	if err != nil {
+		return 0, trace.CacheStats{}, fmt.Errorf("figures: cache ablation at %d MiB: %w", capMiB, err)
+	}
+	return r.Stats.Elapsed, rt.CacheStats(), nil
+}
+
+// String renders the sweep as a table.
+func (r *CacheResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Staging-cache ablation: spmv power iteration (%d iters, SSD tree)\n",
+		cacheAblationIters)
+	fmt.Fprintf(&sb, "  %-12s %12s %9s %10s %12s %11s\n",
+		"cache", "virtual-s", "speedup", "hit-rate", "prefetches", "evictions")
+	for _, row := range r.Rows {
+		name := "off"
+		if row.CapacityMiB > 0 {
+			name = fmt.Sprintf("%d MiB", row.CapacityMiB)
+		}
+		fmt.Fprintf(&sb, "  %-12s %12.3f %8.2fx %9.1f%% %12d %11d\n",
+			name, row.Elapsed.Seconds(), row.Speedup, 100*row.Stats.HitRate(),
+			row.Stats.Prefetches, row.Stats.Evictions)
+	}
+	return sb.String()
+}
+
+// CSV renders the sweep as capacity_mib,virtual_s,speedup,hit_rate,hits,
+// misses,evictions,prefetches,prefetch_hits,bypasses.
+func (r *CacheResult) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("capacity_mib,virtual_s,speedup,hit_rate,hits,misses,evictions,prefetches,prefetch_hits,bypasses\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%d,%.6f,%.4f,%.4f,%d,%d,%d,%d,%d,%d\n",
+			row.CapacityMiB, row.Elapsed.Seconds(), row.Speedup, row.Stats.HitRate(),
+			row.Stats.Hits, row.Stats.Misses, row.Stats.Evictions,
+			row.Stats.Prefetches, row.Stats.PrefetchHits, row.Stats.Bypasses)
+	}
+	return sb.String()
+}
+
+// cacheJSONRow is the machine-readable form of one sweep point, consumed by
+// the Makefile's bench-json target.
+type cacheJSONRow struct {
+	Name        string  `json:"name"`
+	CapacityMiB int64   `json:"capacity_mib"`
+	VirtualS    float64 `json:"virtual_s"`
+	Speedup     float64 `json:"speedup"`
+	HitRate     float64 `json:"hit_rate"`
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	Evictions   int64   `json:"evictions"`
+	Prefetches  int64   `json:"prefetches"`
+}
+
+// JSON renders the sweep as a JSON array (one object per capacity point).
+func (r *CacheResult) JSON() string {
+	rows := make([]cacheJSONRow, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		name := "spmv-cache-off"
+		if row.CapacityMiB > 0 {
+			name = fmt.Sprintf("spmv-cache-%dmib", row.CapacityMiB)
+		}
+		rows = append(rows, cacheJSONRow{
+			Name:        name,
+			CapacityMiB: row.CapacityMiB,
+			VirtualS:    row.Elapsed.Seconds(),
+			Speedup:     row.Speedup,
+			HitRate:     row.Stats.HitRate(),
+			Hits:        row.Stats.Hits,
+			Misses:      row.Stats.Misses,
+			Evictions:   row.Stats.Evictions,
+			Prefetches:  row.Stats.Prefetches,
+		})
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		panic(err) // plain structs cannot fail to marshal
+	}
+	return string(out) + "\n"
+}
+
+var _ Renderer = (*CacheResult)(nil)

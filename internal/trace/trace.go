@@ -65,6 +65,84 @@ func (c Category) String() string {
 	}
 }
 
+// CacheStats counts staging-cache activity (package cache, wired through
+// core): how often a MoveDataDownCached was served from a resident buffer
+// instead of re-crossing the storage edge, and what the pool did to make
+// room. Byte counters let reports weigh hits by traffic, not just count.
+type CacheStats struct {
+	// Hits is the number of cached fetches served from a resident buffer.
+	Hits int64
+	// Misses is the number of cached fetches that had to cross the edge.
+	// A retried (fault-injected) fetch still counts as one miss.
+	Misses int64
+	// Evictions is the number of entries evicted to make room, including
+	// evictions forced by allocation pressure from the allocator.
+	Evictions int64
+	// Prefetches is the number of lookahead fetches issued.
+	Prefetches int64
+	// PrefetchHits is the number of prefetched entries that later served a
+	// demand fetch (Prefetches - PrefetchHits were wasted).
+	PrefetchHits int64
+	// Bypasses is the number of cached fetches that fell back to a plain
+	// move because the extent could not be cached (pool too small, or
+	// pinned entries blocked eviction).
+	Bypasses int64
+	// Invalidations is the number of entries dropped because their source
+	// range was overwritten.
+	Invalidations int64
+	// HitBytes and MissBytes weigh the counters by traffic.
+	HitBytes  int64
+	MissBytes int64
+}
+
+// Any reports whether the cache saw any traffic.
+func (s CacheStats) Any() bool {
+	return s.Hits+s.Misses+s.Prefetches+s.Bypasses+s.Invalidations > 0
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no traffic.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// DeltaFrom returns the activity since prev was captured.
+func (s CacheStats) DeltaFrom(prev CacheStats) CacheStats {
+	return CacheStats{
+		Hits:          s.Hits - prev.Hits,
+		Misses:        s.Misses - prev.Misses,
+		Evictions:     s.Evictions - prev.Evictions,
+		Prefetches:    s.Prefetches - prev.Prefetches,
+		PrefetchHits:  s.PrefetchHits - prev.PrefetchHits,
+		Bypasses:      s.Bypasses - prev.Bypasses,
+		Invalidations: s.Invalidations - prev.Invalidations,
+		HitBytes:      s.HitBytes - prev.HitBytes,
+		MissBytes:     s.MissBytes - prev.MissBytes,
+	}
+}
+
+// add accumulates o into s (Breakdown.Merge's cache half).
+func (s *CacheStats) add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Prefetches += o.Prefetches
+	s.PrefetchHits += o.PrefetchHits
+	s.Bypasses += o.Bypasses
+	s.Invalidations += o.Invalidations
+	s.HitBytes += o.HitBytes
+	s.MissBytes += o.MissBytes
+}
+
+// String renders a one-line summary.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hits %d (%.1f%%) | misses %d | evictions %d | prefetches %d (%d hit) | bypasses %d | invalidations %d",
+		s.Hits, 100*s.HitRate(), s.Misses, s.Evictions, s.Prefetches, s.PrefetchHits,
+		s.Bypasses, s.Invalidations)
+}
+
 // Breakdown accumulates busy time per category over a run.
 //
 // Components may overlap in time (that is the point of multi-stage
@@ -74,7 +152,11 @@ func (c Category) String() string {
 type Breakdown struct {
 	busy  [numCategories]sim.Time
 	total sim.Time
+	cache CacheStats
 }
+
+// Cache returns the breakdown's staging-cache counters for accumulation.
+func (b *Breakdown) Cache() *CacheStats { return &b.cache }
 
 // Add accumulates d into the category.
 func (b *Breakdown) Add(c Category, d sim.Time) {
@@ -128,20 +210,24 @@ func (b *Breakdown) DeltaFrom(prev *Breakdown) Breakdown {
 	for i := range b.busy {
 		d.busy[i] = b.busy[i] - prev.busy[i]
 	}
+	d.cache = b.cache.DeltaFrom(prev.cache)
 	return d
 }
 
-// Merge adds another breakdown's busy times into b (totals are not merged).
+// Merge adds another breakdown's busy times and cache counters into b
+// (totals are not merged).
 func (b *Breakdown) Merge(o *Breakdown) {
 	for i := range b.busy {
 		b.busy[i] += o.busy[i]
 	}
+	b.cache.add(o.cache)
 }
 
 // Reset zeroes all counters.
 func (b *Breakdown) Reset() {
 	b.busy = [numCategories]sim.Time{}
 	b.total = 0
+	b.cache = CacheStats{}
 }
 
 // String renders a one-line percentage summary, e.g.
@@ -162,5 +248,8 @@ func (b *Breakdown) Report() string {
 		fmt.Fprintf(&sb, "%-10s %14v %7.1f%%\n", c, b.busy[c], 100*b.Fraction(c))
 	}
 	fmt.Fprintf(&sb, "%-10s %14v\n", "elapsed", b.total)
+	if b.cache.Any() {
+		fmt.Fprintf(&sb, "%-10s %s\n", "cache", b.cache)
+	}
 	return sb.String()
 }

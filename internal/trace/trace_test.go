@@ -88,3 +88,58 @@ func TestReportContents(t *testing.T) {
 		t.Fatalf("String() = %s", s)
 	}
 }
+
+func TestCacheStatsHitRateAndAny(t *testing.T) {
+	var s CacheStats
+	if s.Any() || s.HitRate() != 0 {
+		t.Fatal("zero stats report activity")
+	}
+	s.Hits, s.Misses = 3, 1
+	if !s.Any() {
+		t.Fatal("hits not counted as activity")
+	}
+	if got := s.HitRate(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("hit rate %g", got)
+	}
+}
+
+func TestCacheStatsDeltaMergeReset(t *testing.T) {
+	var b Breakdown
+	b.Cache().Hits = 10
+	b.Cache().Misses = 4
+	b.Cache().HitBytes = 4096
+	prev := b
+	b.Cache().Hits = 15
+	b.Cache().Evictions = 2
+
+	d := b.DeltaFrom(&prev)
+	if d.Cache().Hits != 5 || d.Cache().Misses != 0 || d.Cache().Evictions != 2 {
+		t.Fatalf("delta %+v", *d.Cache())
+	}
+
+	var m Breakdown
+	m.Merge(&b)
+	m.Merge(&b)
+	if m.Cache().Hits != 30 || m.Cache().HitBytes != 8192 {
+		t.Fatalf("merge %+v", *m.Cache())
+	}
+
+	b.Reset()
+	if b.Cache().Any() {
+		t.Fatal("reset left cache counters")
+	}
+}
+
+func TestReportIncludesCacheLineOnlyWithTraffic(t *testing.T) {
+	var b Breakdown
+	b.Add(IO, 5*sim.Millisecond)
+	if strings.Contains(b.Report(), "cache") {
+		t.Fatal("cache line printed with no cache traffic")
+	}
+	b.Cache().Hits = 7
+	b.Cache().Misses = 7
+	rep := b.Report()
+	if !strings.Contains(rep, "cache") || !strings.Contains(rep, "hits 7 (50.0%)") {
+		t.Fatalf("cache line missing or wrong:\n%s", rep)
+	}
+}

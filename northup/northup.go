@@ -91,6 +91,12 @@ type (
 	RunStats = core.RunStats
 	// Join is the handle of an asynchronously spawned task.
 	Join = core.Join
+	// CacheOptions configures the reuse-aware staging cache interposed on
+	// the Ctx.MoveDataDownCached path (capacity, LRU policy, prefetch).
+	CacheOptions = core.CacheOptions
+	// CacheStats reports staging-cache traffic (hits, misses, evictions,
+	// prefetches); also embedded in every Breakdown.
+	CacheStats = trace.CacheStats
 )
 
 // Topology types.
