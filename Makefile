@@ -1,13 +1,13 @@
 # Build and test gates for the Northup reproduction.
 #
 #   make check      tier-1 gate: build + full test suite (the CI floor)
-#   make strict     tier-2 gate: vet + race-instrumented tests
+#   make strict     tier-2 gate: vet + race-instrumented tests + trace demo
 #   make bench-json staging-cache figure benchmarks -> BENCH_cache.json
 #   make all        both gates plus the benchmark artifact
 
 GO ?= go
 
-.PHONY: all build test vet race check strict bench bench-json clean
+.PHONY: all build test vet race check strict bench bench-json trace-demo clean
 
 all: check strict bench-json
 
@@ -26,8 +26,17 @@ race:
 # Tier-1: what every change must keep green.
 check: build test
 
-# Tier-2: static analysis plus the race detector over the whole suite.
-strict: vet race
+# Tier-2: static analysis, the race detector, and the trace round-trip.
+strict: vet race trace-demo
+
+# End-to-end tracing smoke: capture a small traced run, then require the
+# exported Chrome trace to validate through the offline analyser.
+trace-demo:
+	$(GO) run ./cmd/northup-run -app gemm -n 256 -chunk 128 \
+		-trace-out trace-demo.json -metrics > /dev/null
+	$(GO) run ./cmd/northup-trace -validate trace-demo.json
+	$(GO) run ./cmd/northup-trace trace-demo.json > /dev/null
+	rm -f trace-demo.json
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -40,4 +49,4 @@ bench-json:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_cache.json
+	rm -f BENCH_cache.json trace-demo.json

@@ -7,6 +7,14 @@
 //	            [-spec file.json] [-n N] [-chunk D] [-iters K] [-phantom]
 //	            [-faults seed=N,rate=P,...] [-retries K]
 //	            [-cache] [-cache-mib M] [-cache-share F] [-prefetch]
+//	            [-trace-out trace.json] [-trace-events N] [-metrics]
+//
+// With -trace-out the run records every span, instant and counter on the
+// virtual timeline and writes a Chrome trace_event file loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing, with one process per tree node and
+// one thread per lane. -metrics prints the derived per-node utilization
+// table and the critical path attributing the makespan; either flag enables
+// recording. Identical runs produce byte-identical trace files.
 //
 // With -cache the runtime interposes a reuse-aware staging cache on the
 // MoveDataDownCached path: repeated reads of the same source extent are
@@ -50,6 +58,9 @@ func main() {
 	cacheMiB := flag.Int64("cache-mib", 0, "cache capacity per node in MiB (0 = -cache-share of the node)")
 	cacheShare := flag.Float64("cache-share", 0, "cache capacity as a fraction of each node (0 = default 0.5)")
 	prefetch := flag.Bool("prefetch", false, "enable lookahead prefetch into the staging cache")
+	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace_event JSON file")
+	traceEvents := flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = default)")
+	metrics := flag.Bool("metrics", false, "print per-node utilization metrics and the critical path")
 	flag.Parse()
 
 	e := northup.NewEngine()
@@ -78,6 +89,11 @@ func main() {
 			CapacityShare: *cacheShare,
 			Prefetch:      *prefetch,
 		}
+	}
+	var rec *northup.TraceRecorder
+	if *traceOut != "" || *metrics {
+		rec = northup.NewTraceRecorder(northup.TraceOptions{MaxEvents: *traceEvents})
+		opts.Trace = rec
 	}
 	rt := northup.NewRuntime(e, tree, opts)
 
@@ -110,8 +126,8 @@ func main() {
 				fatal(err)
 			}
 			stats = res.Stats
-			fmt.Printf("hotspot: M=%d chunk=%d iters=%d steals=%d gpu-tasks=%d cpu-tasks=%d failovers=%d\n",
-				*n, chunkDim, *iters, res.Steals, res.TasksByGPU, res.TasksByCPU, res.Failovers)
+			fmt.Printf("hotspot: M=%d chunk=%d iters=%d pops=%d steals=%d gpu-tasks=%d cpu-tasks=%d failovers=%d\n",
+				*n, chunkDim, *iters, res.Pops, res.Steals, res.TasksByGPU, res.TasksByCPU, res.Failovers)
 			break
 		}
 		cfg := northup.HotSpotConfig{N: *n, Seed: 1, ChunkDim: *chunk, Iters: *iters}
@@ -152,6 +168,38 @@ func main() {
 	if *faults != "" {
 		fmt.Print(rt.ResilienceReport())
 	}
+	if rec != nil {
+		events := rec.Events()
+		if n := rec.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "northup-run: trace ring overflowed, oldest %d events dropped (raise -trace-events)\n", n)
+		}
+		if *traceOut != "" {
+			if err := writeTrace(*traceOut, events, tree); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\ntrace: %d events -> %s\n", len(events), *traceOut)
+		}
+		if *metrics {
+			sum := northup.SummarizeTrace(events, northup.TraceSummaryOptions{
+				NominalBW: northup.NominalBandwidth(tree)})
+			fmt.Printf("\n%s", sum.Report())
+			fmt.Printf("\n%s", northup.TraceCriticalPath(events, northup.TraceSummaryOptions{}).Report(8))
+		}
+	}
+}
+
+// writeTrace exports the recorded events as Chrome trace_event JSON.
+func writeTrace(path string, events []northup.TraceEvent, tree *northup.Tree) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := northup.WriteChromeTrace(f, events,
+		northup.TraceExportOptions{NodeLabel: northup.TraceNodeLabeler(tree)}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func buildTree(e *northup.Engine, preset, specPath string, storageMiB, dramMiB int64) (*northup.Tree, error) {

@@ -1,0 +1,65 @@
+// Command northup-trace analyses a trace file captured with
+// northup-run -trace-out: it validates the Chrome trace_event JSON, prints
+// the per-node utilization table derived from the event stream, and walks
+// the critical path attributing the makespan to spans and idle time.
+//
+// Usage:
+//
+//	northup-trace [-validate] [-top N] [-lanes] trace.json
+//
+// -validate checks well-formedness and exits (0 on success), the mode the
+// Makefile's trace-demo gate uses. -top sets how many critical-path
+// contributors to list. -lanes prints the lane names and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/northup"
+)
+
+func main() {
+	validate := flag.Bool("validate", false, "check the file is a well-formed Chrome trace and exit")
+	top := flag.Int("top", 8, "number of critical-path contributors to list")
+	lanes := flag.Bool("lanes", false, "list the trace's timeline lanes and exit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: northup-trace [-validate] [-top N] [-lanes] trace.json")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := northup.ValidateChromeTrace(data); err != nil {
+		fatal(fmt.Errorf("%s: %v", path, err))
+	}
+	if *validate {
+		fmt.Printf("%s: valid Chrome trace\n", path)
+		return
+	}
+
+	parsed, err := northup.ParseChromeTrace(data)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %v", path, err))
+	}
+	if *lanes {
+		for _, lane := range northup.TraceLaneNames(parsed.Events) {
+			fmt.Println(lane)
+		}
+		return
+	}
+
+	sum := northup.SummarizeTrace(parsed.Events, northup.TraceSummaryOptions{})
+	fmt.Print(sum.Report())
+	fmt.Printf("\n%s", northup.TraceCriticalPath(parsed.Events, northup.TraceSummaryOptions{}).Report(*top))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "northup-trace:", err)
+	os.Exit(1)
+}

@@ -172,55 +172,64 @@ func RunNorthup(rt *core.Runtime, cfg Config) (*Result, error) {
 			if cfg.Sequential {
 				stageRunner = c.Sequential
 			}
+			// Each stage body runs as a named task span, so a traced run
+			// renders the pipeline's load/multiply/store overlap (the
+			// paper's Fig. 5 picture) as staggered task lanes.
 			err := stageRunner(cb, depth,
 				func(sub *core.Ctx, j int) error { // load column shard
-					if cfg.StageB {
-						// B is already resident at the staging level: the
-						// reload is an on-node copy out of the pinned image.
-						buf, err := sub.AllocAt(dram, shardBytes)
+					return sub.Task("load-shard", shardBytes, func(sub *core.Ctx) error {
+						if cfg.StageB {
+							// B is already resident at the staging level: the
+							// reload is an on-node copy out of the pinned image.
+							buf, err := sub.AllocAt(dram, shardBytes)
+							if err != nil {
+								return err
+							}
+							colShards[j] = buf
+							return sub.MoveData(buf, colSrc, 0, int64(j)*shardBytes, shardBytes)
+						}
+						// Without StageB the column shard comes straight from
+						// storage; the staging cache turns the cb-1 re-reads of
+						// each shard (one per block row) into hits, and the
+						// pipeline's deterministic schedule makes j+1 the next
+						// load — prefetch it behind this one.
+						buf, err := sub.MoveDataDownCached(dram, fb, int64(j)*shardBytes, shardBytes)
 						if err != nil {
 							return err
 						}
 						colShards[j] = buf
-						return sub.MoveData(buf, colSrc, 0, int64(j)*shardBytes, shardBytes)
-					}
-					// Without StageB the column shard comes straight from
-					// storage; the staging cache turns the cb-1 re-reads of
-					// each shard (one per block row) into hits, and the
-					// pipeline's deterministic schedule makes j+1 the next
-					// load — prefetch it behind this one.
-					buf, err := sub.MoveDataDownCached(dram, fb, int64(j)*shardBytes, shardBytes)
-					if err != nil {
-						return err
-					}
-					colShards[j] = buf
-					if j+1 < cb {
-						sub.Prefetch(dram, fb, int64(j+1)*shardBytes, shardBytes)
-					}
-					return nil
+						if j+1 < cb {
+							sub.Prefetch(dram, fb, int64(j+1)*shardBytes, shardBytes)
+						}
+						return nil
+					})
 				},
 				func(sub *core.Ctx, j int) error { // recursive multiply
-					buf, err := sub.AllocAt(dram, blockBytes)
-					if err != nil {
+					return sub.Task("multiply-shard", blockBytes, func(sub *core.Ctx) error {
+						buf, err := sub.AllocAt(dram, blockBytes)
+						if err != nil {
+							return err
+						}
+						cBlocks[j] = buf
+						err = sub.Descend(dram, func(dc *core.Ctx) error {
+							return multiplyShard(dc, rowShard, colShards[j], buf, s, n, s, functional)
+						})
+						if cfg.StageB {
+							sub.Release(colShards[j])
+						} else {
+							sub.Unpin(colShards[j])
+						}
+						colShards[j] = nil
 						return err
-					}
-					cBlocks[j] = buf
-					err = sub.Descend(dram, func(dc *core.Ctx) error {
-						return multiplyShard(dc, rowShard, colShards[j], buf, s, n, s, functional)
 					})
-					if cfg.StageB {
-						sub.Release(colShards[j])
-					} else {
-						sub.Unpin(colShards[j])
-					}
-					colShards[j] = nil
-					return err
 				},
 				func(sub *core.Ctx, j int) error { // store result block
-					err := sub.MoveData(fc, cBlocks[j], (int64(i)*int64(cb)+int64(j))*blockBytes, 0, blockBytes)
-					sub.Release(cBlocks[j])
-					cBlocks[j] = nil
-					return err
+					return sub.Task("store-block", blockBytes, func(sub *core.Ctx) error {
+						err := sub.MoveData(fc, cBlocks[j], (int64(i)*int64(cb)+int64(j))*blockBytes, 0, blockBytes)
+						sub.Release(cBlocks[j])
+						cBlocks[j] = nil
+						return err
+					})
 				},
 			)
 			if err != nil {

@@ -197,62 +197,68 @@ func runChunked(rt *core.Runtime, cfg Config, compute chunkComputeFn) (*Result, 
 		for pass := 0; pass < cfg.Passes; pass++ {
 			src, dst := fT[pass%2], fT[(pass+1)%2]
 			bSrc, bDst := fB[pass%2], fB[(pass+1)%2]
+			// Stage bodies run as named task spans: a traced pass shows the
+			// load lane running ahead of compute-store (Fig. 5's overlap).
 			err := c.Pipeline(chunks, cfg.Depth,
 				func(sub *core.Ctx, ci int) error { // load chunk + borders
-					var s inflight
-					var err error
-					if s.tin, err = sub.AllocAt(dram, chunkBytes); err != nil {
-						return err
-					}
-					if s.tout, err = sub.AllocAt(dram, chunkBytes); err != nil {
-						return err
-					}
-					// Power never changes across iterations or passes, so
-					// its chunks come through the staging cache: pass 2+
-					// re-reads hit instead of going back to storage. The
-					// temperature and border files are rewritten every pass
-					// and must not be cached.
-					if s.pow, err = sub.MoveDataDownCached(dram, fP, int64(ci)*chunkBytes, chunkBytes); err != nil {
-						return err
-					}
-					if ci+1 < chunks {
-						sub.Prefetch(dram, fP, int64(ci+1)*chunkBytes, chunkBytes)
-					}
-					if s.bord, err = sub.AllocAt(dram, borderBytes); err != nil {
-						return err
-					}
-					slots[ci] = s
-					if err := sub.MoveData(s.tin, src, 0, int64(ci)*chunkBytes, chunkBytes); err != nil {
-						return err
-					}
-					return sub.MoveData(s.bord, bSrc, 0, borderOff(ci, d), borderBytes)
+					return sub.Task("load-chunk", chunkBytes, func(sub *core.Ctx) error {
+						var s inflight
+						var err error
+						if s.tin, err = sub.AllocAt(dram, chunkBytes); err != nil {
+							return err
+						}
+						if s.tout, err = sub.AllocAt(dram, chunkBytes); err != nil {
+							return err
+						}
+						// Power never changes across iterations or passes, so
+						// its chunks come through the staging cache: pass 2+
+						// re-reads hit instead of going back to storage. The
+						// temperature and border files are rewritten every pass
+						// and must not be cached.
+						if s.pow, err = sub.MoveDataDownCached(dram, fP, int64(ci)*chunkBytes, chunkBytes); err != nil {
+							return err
+						}
+						if ci+1 < chunks {
+							sub.Prefetch(dram, fP, int64(ci+1)*chunkBytes, chunkBytes)
+						}
+						if s.bord, err = sub.AllocAt(dram, borderBytes); err != nil {
+							return err
+						}
+						slots[ci] = s
+						if err := sub.MoveData(s.tin, src, 0, int64(ci)*chunkBytes, chunkBytes); err != nil {
+							return err
+						}
+						return sub.MoveData(s.bord, bSrc, 0, borderOff(ci, d), borderBytes)
+					})
 				},
 				func(sub *core.Ctx, ci int) error { // compute at the leaf, then store
-					s := slots[ci]
-					err := sub.Descend(dram, func(dc *core.Ctx) error {
-						return computeChunk(dc, cfg, compute, s.tin, s.tout, s.pow, s.bord,
-							d, cb, ci, functional)
+					return sub.Task("compute-store", chunkBytes, func(sub *core.Ctx) error {
+						s := slots[ci]
+						err := sub.Descend(dram, func(dc *core.Ctx) error {
+							return computeChunk(dc, cfg, compute, s.tin, s.tout, s.pow, s.bord,
+								d, cb, ci, functional)
+						})
+						if err != nil {
+							return err
+						}
+						// Store the chunk and the borders its neighbours will
+						// read next pass. Keeping store in the compute stage
+						// bounds in-flight chunks to depth+1, which is what a
+						// 2 GiB staging buffer admits at the paper's 8k
+						// blocking.
+						if err := sub.MoveData(dst, s.tin, int64(ci)*chunkBytes, 0, chunkBytes); err != nil {
+							return err
+						}
+						if err := writeNeighborBorders(sub, bDst, s.tin, d, cb, ci); err != nil {
+							return err
+						}
+						sub.Release(s.tin)
+						sub.Release(s.tout)
+						sub.Unpin(s.pow)
+						sub.Release(s.bord)
+						slots[ci] = inflight{}
+						return nil
 					})
-					if err != nil {
-						return err
-					}
-					// Store the chunk and the borders its neighbours will
-					// read next pass. Keeping store in the compute stage
-					// bounds in-flight chunks to depth+1, which is what a
-					// 2 GiB staging buffer admits at the paper's 8k
-					// blocking.
-					if err := sub.MoveData(dst, s.tin, int64(ci)*chunkBytes, 0, chunkBytes); err != nil {
-						return err
-					}
-					if err := writeNeighborBorders(sub, bDst, s.tin, d, cb, ci); err != nil {
-						return err
-					}
-					sub.Release(s.tin)
-					sub.Release(s.tout)
-					sub.Unpin(s.pow)
-					sub.Release(s.bord)
-					slots[ci] = inflight{}
-					return nil
 				},
 			)
 			if err != nil {

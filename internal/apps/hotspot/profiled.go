@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // This file implements §III-E's profile-guided task-processor mapping for
@@ -27,6 +28,17 @@ type ProfiledResult struct {
 func RunProfiled(rt *core.Runtime, cfg Config) (*ProfiledResult, error) {
 	res := &ProfiledResult{}
 	profiler := sched.NewProfileScheduler()
+	// Profile-guided mapping and tracing share one observation path: each
+	// chunk runs as a task span named after its processor, and the profiler
+	// learns from span completions instead of ad-hoc timing calls. The
+	// observer makes tracing active even without a recorder, so the spans
+	// flow regardless of whether the run keeps a trace.
+	remove := rt.AddSpanObserver(func(ev trace.Event) {
+		if ev.Lane.Track == trace.TrackTask {
+			profiler.Record(ev.Name, float64(ev.Value), ev.Dur)
+		}
+	})
+	defer remove()
 	compute := func(lc *core.Ctx, blk *Block, d int) error {
 		g := lc.GPUModel()
 		cpu := lc.CPUModel()
@@ -39,19 +51,20 @@ func RunProfiled(rt *core.Runtime, cfg Config) (*ProfiledResult, error) {
 		if err != nil {
 			return err
 		}
-		start := lc.Proc().Now()
-		if pick == g.ProcName() {
-			res.ChunksOnGPU++
-			for it := 0; it < iters; it++ {
-				kern, groups := TileKernelFor(blk, d)
-				if _, err := lc.LaunchKernel(kern, groups); err != nil {
-					return err
+		return lc.Task(pick, int64(size), func(lc *core.Ctx) error {
+			if pick == g.ProcName() {
+				res.ChunksOnGPU++
+				for it := 0; it < iters; it++ {
+					kern, groups := TileKernelFor(blk, d)
+					if _, err := lc.LaunchKernel(kern, groups); err != nil {
+						return err
+					}
+					if blk != nil {
+						blk.Swap()
+					}
 				}
-				if blk != nil {
-					blk.Swap()
-				}
+				return nil
 			}
-		} else {
 			res.ChunksOnCPU++
 			tiles := (d + BlockDim - 1) / BlockDim
 			for it := 0; it < iters; it++ {
@@ -74,9 +87,8 @@ func RunProfiled(rt *core.Runtime, cfg Config) (*ProfiledResult, error) {
 					blk.Swap()
 				}
 			}
-		}
-		profiler.Record(pick, size, lc.Proc().Now()-start)
-		return nil
+			return nil
+		})
 	}
 	r, err := runChunked(rt, cfg, compute)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // This file implements the paper's load-balancing case study (§V-E,
@@ -79,6 +80,9 @@ type StealResult struct {
 	Result
 	// Steals counts tasks taken from a victim queue's head.
 	Steals int64
+	// Pops counts tasks taken by their own queue's worker (the owner path);
+	// Pops+Steals is the total task-execution count the deques saw.
+	Pops int64
 	// TasksByGPU and TasksByCPU count task executions per processor class.
 	TasksByGPU, TasksByCPU int64
 	// Failovers counts GPU-queue tasks executed by a CPU thread while the
@@ -193,6 +197,15 @@ func stealCompute(lc *core.Ctx, blk *Block, d int, cfg StealConfig, res *StealRe
 	}
 	lc.Node().Queues = monitors
 
+	// With tracing active, every steal becomes an instant on the victim
+	// queue's lane (hook closures are only built when someone listens).
+	if lc.Runtime().TraceRecorder() != nil {
+		for i, q := range queues {
+			qi := int64(i)
+			q.OnSteal = func() { lc.TraceInstant(trace.TrackQueue, "steal", qi) }
+		}
+	}
+
 	runRow := func(t rowTask) {
 		if blk != nil {
 			for tx := 0; tx < tilesPerRow; tx++ {
@@ -297,13 +310,20 @@ func stealCompute(lc *core.Ctx, blk *Block, d int, cfg StealConfig, res *StealRe
 				queues[i%nq].PushTail(t)
 			}
 		}
+		// Sample the queue depth at each iteration barrier: full after the
+		// refill, and (once the iteration drains) empty again — the sawtooth
+		// a traced timeline shows per Jacobi step.
+		lc.TraceCounter(trace.TrackQueue, "depth", int64(sched.TotalLen(queues)))
 		done.Add(nq)
 		start[it].Fire()
 		done.Wait(lc.Proc())
+		lc.TraceCounter(trace.TrackQueue, "depth", int64(sched.TotalLen(queues)))
 		if blk != nil {
 			blk.Swap()
 		}
 	}
 	workers.Wait(lc.Proc())
+	pops, _ := sched.TotalStats(queues)
+	res.Pops += pops
 	return nil
 }

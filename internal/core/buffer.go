@@ -87,8 +87,10 @@ func (rt *Runtime) AllocAt(p *sim.Proc, node *topo.Node, size int64) (*Buffer, e
 		// Each attempt pays the setup cost: a refused clCreateBuffer or
 		// file creation still burns the round trip.
 		cost := allocSetupCost(node.Kind())
+		costStart := p.Now()
 		p.Sleep(cost)
-		rt.bd.Add(trace.BufferSetup, cost)
+		rt.chargeSpan(trace.Lane{Node: node.ID, Track: trace.TrackAlloc},
+			trace.BufferSetup, spanAlloc, costStart, p.Now(), size)
 		if rt.opts.Faults != nil {
 			if err := rt.opts.Faults.Alloc(p, node.ID, size); err != nil {
 				return err

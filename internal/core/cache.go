@@ -157,6 +157,7 @@ func (nc *nodeCache) get(rt *Runtime, p *sim.Proc, child *topo.Node, src *Buffer
 			rt.chargeOverhead(p)
 			cs.Hits++
 			cs.HitBytes += n
+			rt.emitInstant(cacheLane(child.ID), "hit", p.Now(), n)
 			if e.Prefetched() {
 				e.ClearPrefetched()
 				cs.PrefetchHits++
@@ -166,14 +167,17 @@ func (nc *nodeCache) get(rt *Runtime, p *sim.Proc, child *topo.Node, src *Buffer
 		}
 		cs.Misses++
 		cs.MissBytes += n
+		rt.emitInstant(cacheLane(child.ID), "miss", p.Now(), n)
 		if n > nc.pool.Capacity() {
 			cs.Bypasses++
+			rt.emitInstant(cacheLane(child.ID), "bypass", p.Now(), n)
 			return rt.fetchPinned(p, child, src, srcOff, n)
 		}
 		latch := sim.NewLatch(rt.engine)
 		e, err := nc.pool.StartFetch(key, latch)
 		if err != nil {
 			cs.Bypasses++
+			rt.emitInstant(cacheLane(child.ID), "bypass", p.Now(), n)
 			return rt.fetchPinned(p, child, src, srcOff, n)
 		}
 		buf, ferr := nc.fill(rt, p, e, child, src, srcOff, n, true)
@@ -200,6 +204,7 @@ func (nc *nodeCache) fill(rt *Runtime, p *sim.Proc, e *cache.Entry,
 			return nil, nil
 		}
 		cs.Bypasses++
+		rt.emitInstant(cacheLane(child.ID), "bypass", p.Now(), n)
 		return rt.fetchPinned(p, child, src, srcOff, n)
 	}
 	buf, err := rt.fetchRaw(p, child, src, srcOff, n)
@@ -262,6 +267,7 @@ func (nc *nodeCache) release(rt *Runtime, p *sim.Proc, victims []any) {
 		cs.Evictions++
 		b := v.(*Buffer)
 		b.cref = nil
+		rt.emitInstant(cacheLane(nc.node.ID), "evict", p.Now(), b.size)
 		_ = rt.Release(p, b)
 	}
 }
@@ -296,6 +302,7 @@ func (rt *Runtime) prefetchDown(p *sim.Proc, at, child *topo.Node, src *Buffer, 
 	}
 	rt.chargeOverhead(p)
 	rt.bd.Cache().Prefetches++
+	rt.emitInstant(cacheLane(child.ID), "prefetch", p.Now(), n)
 	rt.engine.Spawn(fmt.Sprintf("prefetch-%v", key), func(pp *sim.Proc) {
 		_, _ = nc.fill(rt, pp, e, child, src, srcOff, n, false)
 		latch.Fire()
@@ -366,6 +373,9 @@ func (rt *Runtime) invalidateRange(p *sim.Proc, dst *Buffer, off, n int64) {
 	for _, nc := range rt.caches {
 		victims, doomed := nc.pool.InvalidateRange(dst.id, off, n)
 		cs.Invalidations += int64(len(victims)) + int64(doomed)
+		if total := int64(len(victims)) + int64(doomed); total > 0 {
+			rt.emitInstant(cacheLane(nc.node.ID), "invalidate", p.Now(), total)
+		}
 		for _, v := range victims {
 			b := v.(*Buffer)
 			b.cref = nil
@@ -400,6 +410,7 @@ func (rt *Runtime) cacheRelieve(p *sim.Proc, node *topo.Node) bool {
 	cs.Evictions++
 	b := v.(*Buffer)
 	b.cref = nil
+	rt.emitInstant(cacheLane(node.ID), "evict", p.Now(), b.size)
 	_ = rt.Release(p, b)
 	return true
 }

@@ -69,6 +69,12 @@ type Options struct {
 	// MoveDataDownCached calls from resident buffers (see cache.go). The
 	// zero value disables it.
 	Cache CacheOptions
+
+	// Trace, when non-nil, records every simulated activity as a timeline
+	// event (see tracing.go and package trace): spans for moves, I/O,
+	// kernels, allocations and bookkeeping; instants for cache activity,
+	// faults and steals. Nil (the default) disables tracing at zero cost.
+	Trace *trace.Recorder
 }
 
 // DefaultOptions returns the standard bookkeeping costs.
@@ -87,10 +93,12 @@ type Runtime struct {
 	pcie   *device.Link
 	dma    *device.Link
 
-	bd     trace.Breakdown
-	res    ResilienceStats
-	bufSeq int
-	bufIDs int64 // stable buffer identities keying cache entries
+	bd      trace.Breakdown
+	res     ResilienceStats
+	rec     *trace.Recorder     // event recorder, nil when tracing is off
+	spanObs []func(trace.Event) // span observers (profile-guided scheduling)
+	bufSeq  int
+	bufIDs  int64 // stable buffer identities keying cache entries
 }
 
 // nextBufID mints the next stable buffer identity.
@@ -109,6 +117,7 @@ func NewRuntime(e *sim.Engine, t *topo.Tree, opts Options) *Runtime {
 		engine: e,
 		tree:   t,
 		opts:   opts,
+		rec:    opts.Trace,
 		allocs: make(map[int]*alloc.Allocator),
 		caches: make(map[int]*nodeCache),
 		pcie:   device.PCIeLink(e),
@@ -144,8 +153,9 @@ func (rt *Runtime) chargeOverhead(p *sim.Proc) {
 	if rt.opts.OverheadPerOp <= 0 {
 		return
 	}
+	start := p.Now()
 	p.Sleep(rt.opts.OverheadPerOp)
-	rt.bd.Add(trace.Runtime, rt.opts.OverheadPerOp)
+	rt.chargeSpan(laneRuntime, trace.Runtime, spanBookkeeping, start, p.Now(), 0)
 }
 
 // RunStats summarizes one Runtime.Run invocation.

@@ -332,7 +332,10 @@ func (c *Ctx) RunFPGA(spec proc.BitstreamSpec, elements int64, fn func()) (sim.T
 	if err != nil {
 		return 0, err
 	}
-	c.rt.bd.Add(trace.FPGACompute, t)
+	// The model slept exactly t before returning, so [now-t, now) is the
+	// busy interval (the same shape every compute charge below uses).
+	c.rt.chargeSpan(trace.Lane{Node: c.node.ID, Track: trace.TrackFPGA},
+		trace.FPGACompute, spanFPGA, c.p.Now()-t, c.p.Now(), elements)
 	return t, nil
 }
 
@@ -371,7 +374,8 @@ func (c *Ctx) LaunchKernel(k gpu.Kernel, groups int) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	c.rt.bd.Add(trace.GPUCompute, t)
+	c.rt.chargeSpan(trace.Lane{Node: c.node.ID, Track: trace.TrackGPU},
+		trace.GPUCompute, spanKernel, c.p.Now()-t, c.p.Now(), int64(groups))
 	return t, nil
 }
 
@@ -389,7 +393,8 @@ func (c *Ctx) RunCPUParallel(flops, bytes float64, fn func()) (sim.Time, error) 
 		return 0, fmt.Errorf("core: no %v at or above %v", proc.CPU, c.node)
 	}
 	t := m.RunParallel(c.p, flops, bytes, fn)
-	c.rt.bd.Add(trace.CPUCompute, t)
+	c.rt.chargeSpan(trace.Lane{Node: c.node.ID, Track: trace.TrackCPU},
+		trace.CPUCompute, spanCPU, c.p.Now()-t, c.p.Now(), int64(bytes))
 	return t, nil
 }
 
@@ -403,7 +408,8 @@ func (c *Ctx) RunPIM(flops, bytes float64, fn func()) (sim.Time, error) {
 		return 0, fmt.Errorf("core: no %v at or above %v", proc.PIM, c.node)
 	}
 	t := m.RunParallel(c.p, flops, bytes, fn)
-	c.rt.bd.Add(trace.PIMCompute, t)
+	c.rt.chargeSpan(trace.Lane{Node: c.node.ID, Track: trace.TrackPIM},
+		trace.PIMCompute, spanPIM, c.p.Now()-t, c.p.Now(), int64(bytes))
 	return t, nil
 }
 
@@ -413,13 +419,37 @@ func (c *Ctx) runThroughput(k proc.Kind, cat trace.Category, flops, bytes float6
 		return 0, fmt.Errorf("core: no %v at or above %v", k, c.node)
 	}
 	t := m.Run(c.p, flops, bytes, fn)
-	c.rt.bd.Add(cat, t)
+	track, name := computeTrack(cat)
+	c.rt.chargeSpan(trace.Lane{Node: c.node.ID, Track: track},
+		cat, name, c.p.Now()-t, c.p.Now(), int64(bytes))
 	return t, nil
 }
 
+// computeTrack maps a compute category to its lane track and span name.
+func computeTrack(cat trace.Category) (track, name string) {
+	switch cat {
+	case trace.GPUCompute:
+		return trace.TrackGPU, spanKernel
+	case trace.PIMCompute:
+		return trace.TrackPIM, spanPIM
+	case trace.FPGACompute:
+		return trace.TrackFPGA, spanFPGA
+	default:
+		return trace.TrackCPU, spanCPU
+	}
+}
+
 // ChargeCPU accounts externally computed CPU time (used by the stealing
-// scheduler, whose workers manage their own functional execution).
-func (c *Ctx) ChargeCPU(t sim.Time) { c.rt.bd.Add(trace.CPUCompute, t) }
+// scheduler, whose workers manage their own functional execution). The
+// caller has just slept t, so the span covers [now-t, now) on the worker's
+// own lane — each worker process renders as its own timeline track.
+func (c *Ctx) ChargeCPU(t sim.Time) {
+	c.rt.chargeSpan(trace.Lane{Node: c.node.ID, Track: c.p.Name()},
+		trace.CPUCompute, spanWorkerTask, c.p.Now()-t, c.p.Now(), 0)
+}
 
 // ChargeGPU accounts externally computed GPU time.
-func (c *Ctx) ChargeGPU(t sim.Time) { c.rt.bd.Add(trace.GPUCompute, t) }
+func (c *Ctx) ChargeGPU(t sim.Time) {
+	c.rt.chargeSpan(trace.Lane{Node: c.node.ID, Track: c.p.Name()},
+		trace.GPUCompute, spanWorkerTask, c.p.Now()-t, c.p.Now(), 0)
+}

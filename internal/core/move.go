@@ -77,7 +77,7 @@ func (rt *Runtime) moveOnce(p *sim.Proc, dst *Buffer, src *Buffer, dstOff, srcOf
 		copy(dst.data[dstOff:dstOff+n], src.data[srcOff:srcOff+n])
 		rt.link(src, dst).Transfer(p, src.node.Mem, dst.node.Mem, n)
 	}
-	rt.bd.Add(cat, p.Now()-start)
+	rt.chargeSpan(moveLane(cat, dst, src), cat, spanMove, start, p.Now(), n)
 	return err
 }
 
@@ -186,7 +186,7 @@ func (rt *Runtime) move2DOnce(p *sim.Proc, dst *Buffer, src *Buffer,
 			}
 		}
 	}
-	rt.bd.Add(cat, p.Now()-start)
+	rt.chargeSpan(moveLane(cat, dst, src), cat, spanMove2D, start, p.Now(), int64(rows)*int64(rowBytes))
 	return err
 }
 
@@ -217,7 +217,7 @@ func (rt *Runtime) movePhantom(p *sim.Proc, dst, src *Buffer, dstOff, srcOff, n 
 		cat = trace.Transfer
 		rt.link(src, dst).Transfer(p, src.node.Mem, dst.node.Mem, n)
 	}
-	rt.bd.Add(cat, p.Now()-start)
+	rt.chargeSpan(moveLane(cat, dst, src), cat, spanMove, start, p.Now(), n)
 	return err
 }
 

@@ -169,6 +169,9 @@ func (rt *Runtime) withRetry(p *sim.Proc, what string, op func() error) error {
 			return err
 		}
 		rt.res.Faults++
+		// what is a static per-call-site label ("move_data", "alloc"), so
+		// the instant costs no allocation.
+		rt.emitInstant(laneRuntime, what, p.Now(), int64(attempt))
 		if attempt >= pol.MaxRetries {
 			rt.res.GaveUp++
 			return fmt.Errorf("core: %s: giving up after %d attempt(s): %w", what, attempt+1, err)
@@ -182,7 +185,8 @@ func (rt *Runtime) withRetry(p *sim.Proc, what string, op func() error) error {
 				sleep = wake
 			}
 		}
+		backoffStart := p.Now()
 		p.Sleep(sleep)
-		rt.bd.Add(trace.Runtime, sleep)
+		rt.chargeSpan(laneRuntime, trace.Runtime, spanBackoff, backoffStart, p.Now(), int64(attempt))
 	}
 }

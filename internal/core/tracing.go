@@ -1,0 +1,149 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file wires the event recorder (package trace) into the runtime.
+// Every busy-time charge in the runtime goes through chargeSpan, which
+// pairs the legacy Breakdown accounting with a span emission — one code
+// path, so event-derived category totals equal Breakdown totals
+// bit-for-bit by construction. With no recorder and no observers the
+// emission side collapses to a nil check and the runtime behaves (and
+// allocates) exactly as before; the tests guard both properties.
+
+// laneRuntime is the pseudo-lane of node-less bookkeeping.
+var laneRuntime = trace.Lane{Node: trace.NoNode, Track: trace.TrackRuntime}
+
+// Static span names. Emitters must not build names dynamically on the hot
+// path — details ride in the event's Value field instead.
+const (
+	spanBookkeeping = "bookkeeping"
+	spanBackoff     = "retry-backoff"
+	spanMove        = "move"
+	spanMove2D      = "move2d"
+	spanTranspose   = "transpose"
+	spanAlloc       = "alloc"
+	spanKernel      = "kernel"
+	spanCPU         = "cpu"
+	spanPIM         = "pim"
+	spanFPGA        = "fpga"
+	spanWorkerTask  = "task"
+)
+
+// TraceRecorder returns the runtime's event recorder, nil when tracing is
+// off.
+func (rt *Runtime) TraceRecorder() *trace.Recorder { return rt.rec }
+
+// traceActive reports whether anything consumes span events. It is the
+// guard in front of every span emission: false (the default) short-circuits
+// tracing to one branch and zero allocations.
+func (rt *Runtime) traceActive() bool {
+	return rt.rec != nil || len(rt.spanObs) > 0
+}
+
+// AddSpanObserver registers fn to be called with every completed span
+// (after it is recorded). Observers run on the simulation goroutine and
+// must not block; they work with or without a recorder, which is how
+// profile-guided scheduling taps the event stream without retaining a
+// trace. The returned function unregisters the observer.
+func (rt *Runtime) AddSpanObserver(fn func(trace.Event)) (remove func()) {
+	rt.spanObs = append(rt.spanObs, fn)
+	idx := len(rt.spanObs) - 1
+	return func() {
+		rt.spanObs[idx] = nil
+		// Trim trailing empty slots so removing the last observer turns the
+		// traceActive guard back off entirely.
+		for len(rt.spanObs) > 0 && rt.spanObs[len(rt.spanObs)-1] == nil {
+			rt.spanObs = rt.spanObs[:len(rt.spanObs)-1]
+		}
+	}
+}
+
+// emitSpan records a completed span and notifies observers.
+func (rt *Runtime) emitSpan(lane trace.Lane, cat trace.Category, name string, start, end sim.Time, value int64) {
+	if rt.rec != nil {
+		rt.rec.Span(lane, cat, name, start, end, value)
+	}
+	if len(rt.spanObs) > 0 {
+		ev := trace.Event{Kind: trace.KindSpan, Cat: cat, Name: name, Lane: lane,
+			Start: start, Dur: end - start, Value: value}
+		for _, fn := range rt.spanObs {
+			if fn != nil {
+				fn(ev)
+			}
+		}
+	}
+}
+
+// emitInstant records a point event (steal, eviction, fault) when tracing
+// is on.
+func (rt *Runtime) emitInstant(lane trace.Lane, name string, t sim.Time, value int64) {
+	if rt.rec != nil {
+		rt.rec.Instant(lane, name, t, value)
+	}
+}
+
+// emitCounter records a sampled value (queue depth) when tracing is on.
+func (rt *Runtime) emitCounter(lane trace.Lane, name string, t sim.Time, value int64) {
+	if rt.rec != nil {
+		rt.rec.Counter(lane, name, t, value)
+	}
+}
+
+// chargeSpan is the single charge point pairing Breakdown accounting with
+// span emission: d = end-start goes to the category, and — only when
+// tracing is active — the same interval becomes a span on lane.
+func (rt *Runtime) chargeSpan(lane trace.Lane, cat trace.Category, name string, start, end sim.Time, value int64) {
+	rt.bd.Add(cat, end-start)
+	if rt.traceActive() {
+		rt.emitSpan(lane, cat, name, start, end, value)
+	}
+}
+
+// moveLane places a move span: I/O lands on the storage endpoint's lane,
+// memory-to-memory transfers on the destination node's transfer lane.
+func moveLane(cat trace.Category, dst, src *Buffer) trace.Lane {
+	if cat == trace.IO && src.file != nil && dst.file == nil {
+		return trace.Lane{Node: src.node.ID, Track: trace.TrackIO}
+	}
+	if cat == trace.IO {
+		return trace.Lane{Node: dst.node.ID, Track: trace.TrackIO}
+	}
+	return trace.Lane{Node: dst.node.ID, Track: trace.TrackXfer}
+}
+
+// cacheLane is the staging-cache activity lane of a node.
+func cacheLane(node int) trace.Lane {
+	return trace.Lane{Node: node, Track: trace.TrackCache}
+}
+
+// Task runs fn as a named application-level unit of work and emits a
+// structural span for it on the current node's task lane (category None:
+// the compute and transfer spans inside it charge busy time; the task span
+// only gives the timeline its application-level shape). value labels the
+// task's size — chunk bytes, rows, elements — and is what profile-guided
+// scheduling observes. With tracing inactive the only cost is one branch.
+func (c *Ctx) Task(name string, value int64, fn func(*Ctx) error) error {
+	if !c.rt.traceActive() {
+		return fn(c)
+	}
+	start := c.p.Now()
+	err := fn(c)
+	c.rt.emitSpan(trace.Lane{Node: c.node.ID, Track: trace.TrackTask}, trace.None,
+		name, start, c.p.Now(), value)
+	return err
+}
+
+// TraceInstant records a point event on the current node's lane of the
+// given track. It is a no-op without a recorder.
+func (c *Ctx) TraceInstant(track, name string, value int64) {
+	c.rt.emitInstant(trace.Lane{Node: c.node.ID, Track: track}, name, c.p.Now(), value)
+}
+
+// TraceCounter samples a value on the current node's lane of the given
+// track (queue depths, occupancy). It is a no-op without a recorder.
+func (c *Ctx) TraceCounter(track, name string, value int64) {
+	c.rt.emitCounter(trace.Lane{Node: c.node.ID, Track: track}, name, c.p.Now(), value)
+}

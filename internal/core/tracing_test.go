@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// TestTraceDisabledZeroAlloc is the zero-cost-when-disabled guard: with no
+// recorder and no observers, the emission helpers must allocate nothing, so
+// an untraced run pays one branch per potential event and no garbage.
+func TestTraceDisabledZeroAlloc(t *testing.T) {
+	_, rt := newAPURuntime(t)
+	if rt.traceActive() {
+		t.Fatal("tracing active on a default runtime")
+	}
+	lane := trace.Lane{Node: 1, Track: trace.TrackXfer}
+	allocs := testing.AllocsPerRun(200, func() {
+		rt.chargeSpan(lane, trace.Transfer, spanMove, 0, 10, 64)
+		rt.emitSpan(lane, trace.None, spanWorkerTask, 0, 10, 0)
+		rt.emitInstant(lane, "steal", 5, 1)
+		rt.emitCounter(lane, "depth", 5, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %.1f times per emission round", allocs)
+	}
+}
+
+// BenchmarkChargeSpanDisabled is the -benchmem witness for the same
+// property: the per-charge cost with tracing off is a branch, not garbage.
+func BenchmarkChargeSpanDisabled(b *testing.B) {
+	e := newBenchRuntime(b)
+	lane := trace.Lane{Node: 1, Track: trace.TrackXfer}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.chargeSpan(lane, trace.Transfer, spanMove, 0, 10, 64)
+	}
+}
+
+// newBenchRuntime mirrors newAPURuntime for benchmarks.
+func newBenchRuntime(b *testing.B) *Runtime {
+	b.Helper()
+	e := sim.NewEngine()
+	tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD, StorageMiB: 256, DRAMMiB: 32})
+	return NewRuntime(e, tree, DefaultOptions())
+}
+
+// TestTraceObserverWithoutRecorder checks the observer path alone activates
+// tracing (the profiled scheduler's mode) and that removal deactivates it.
+func TestTraceObserverWithoutRecorder(t *testing.T) {
+	_, rt := newAPURuntime(t)
+	var got []trace.Event
+	remove := rt.AddSpanObserver(func(ev trace.Event) { got = append(got, ev) })
+	if !rt.traceActive() {
+		t.Fatal("observer did not activate tracing")
+	}
+	rt.emitSpan(trace.Lane{Node: 0, Track: trace.TrackIO}, trace.IO, spanMove, 0, 7, 9)
+	if len(got) != 1 || got[0].Dur != 7 || got[0].Value != 9 {
+		t.Fatalf("observer saw %+v", got)
+	}
+	remove()
+	if rt.traceActive() {
+		t.Fatal("tracing still active after observer removal")
+	}
+	rt.emitSpan(trace.Lane{Node: 0, Track: trace.TrackIO}, trace.IO, spanMove, 0, 7, 9)
+	if len(got) != 1 {
+		t.Fatal("removed observer still invoked")
+	}
+}
+
+// TestChargeSpanKeepsBreakdownAndRecorderInStep asserts the single-charge-
+// point invariant at its source: one chargeSpan call adds the identical
+// duration to the Breakdown category and to the recorder's busy tally.
+func TestChargeSpanKeepsBreakdownAndRecorderInStep(t *testing.T) {
+	rec := trace.NewRecorder(trace.Options{})
+	_, rt := newAPURuntime(t)
+	rt.rec = rec
+	before := rt.bd.Busy(trace.Transfer)
+	rt.chargeSpan(trace.Lane{Node: 1, Track: trace.TrackXfer}, trace.Transfer, spanMove, 100, 350, 4096)
+	if d := rt.bd.Busy(trace.Transfer) - before; d != 250 {
+		t.Fatalf("breakdown gained %v, want 250", d)
+	}
+	if d := rec.CategoryBusy(trace.Transfer); d != 250 {
+		t.Fatalf("recorder tallied %v, want 250", d)
+	}
+	evs := rec.Events()
+	if len(evs) != 1 || evs[0].Value != 4096 || evs[0].Start != 100 || evs[0].Dur != 250 {
+		t.Fatalf("recorded %+v", evs)
+	}
+}

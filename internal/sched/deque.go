@@ -22,6 +22,12 @@ type Deque[T any] struct {
 	n      int
 	steals int64
 	pops   int64
+
+	// OnPop and OnSteal, when set, observe every successful PopTail and
+	// StealHead — the hook tracing uses to timestamp queue activity. Nil
+	// (the default) costs one branch.
+	OnPop   func()
+	OnSteal func()
 }
 
 // NewDeque returns an empty deque with the given name (used in stats and
@@ -70,6 +76,9 @@ func (d *Deque[T]) PopTail() (T, bool) {
 	d.buf[d.tail] = zero
 	d.n--
 	d.pops++
+	if d.OnPop != nil {
+		d.OnPop()
+	}
 	return t, true
 }
 
@@ -84,6 +93,9 @@ func (d *Deque[T]) StealHead() (T, bool) {
 	d.head = (d.head + 1) % len(d.buf)
 	d.n--
 	d.steals++
+	if d.OnSteal != nil {
+		d.OnSteal()
+	}
 	return t, true
 }
 
@@ -114,6 +126,17 @@ func StealFrom[T any](queues []*Deque[T], idx int) (T, int, bool) {
 		}
 	}
 	return zero, -1, false
+}
+
+// TotalStats sums Stats over the queues: how many tasks left through the
+// owner path and the thief path in total.
+func TotalStats[T any](queues []*Deque[T]) (pops, steals int64) {
+	for _, q := range queues {
+		p, s := q.Stats()
+		pops += p
+		steals += s
+	}
+	return pops, steals
 }
 
 // TotalLen sums the lengths of the queues.

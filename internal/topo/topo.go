@@ -233,6 +233,14 @@ func (t *Tree) QueueReport() string {
 			n, t.SubtreeLoad(n))
 		for _, q := range n.Queues {
 			fmt.Fprintf(&sb, " %s=%d", q.Name(), q.Len())
+			// Deques also carry lifetime pop/steal counters; surface them
+			// so the report shows how tasks left, not just what is queued.
+			if st, ok := q.(interface{ Stats() (int64, int64) }); ok {
+				pops, steals := st.Stats()
+				if pops+steals > 0 {
+					fmt.Fprintf(&sb, "(pops=%d,steals=%d)", pops, steals)
+				}
+			}
 		}
 		sb.WriteByte('\n')
 		for _, c := range n.Children {

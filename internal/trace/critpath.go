@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// This file walks the critical path of a run: the chain of spans (and idle
+// gaps) that explains why the makespan is what it is. The simulator records
+// no explicit dependency edges, so the walker uses the temporal structure
+// instead: starting from the end of the window it repeatedly charges the
+// interval back to the span that, among all spans starting earlier, ends
+// latest — the activity whose completion gated that moment. Where no span
+// covers an interval the path records an idle segment. The segments tile
+// the window exactly, so the path length equals the virtual makespan by
+// construction (the acceptance criterion northup-trace checks).
+
+// PathSegment is one link of the critical path.
+type PathSegment struct {
+	// Start and End delimit the portion of the window this segment covers.
+	Start, End sim.Time
+	// Idle marks a gap no span covered.
+	Idle bool
+	// Span is the event the segment charges (zero value when Idle).
+	Span Event
+}
+
+// Dur returns the segment length.
+func (s PathSegment) Dur() sim.Time { return s.End - s.Start }
+
+// Label names the segment for reports: "node1/gpu kernel" or "idle".
+func (s PathSegment) Label() string {
+	if s.Idle {
+		return "idle"
+	}
+	return s.Span.Lane.String() + " " + s.Span.Name
+}
+
+// CritPath is the critical path of an event stream over a window.
+type CritPath struct {
+	// Start and End delimit the analysed window.
+	Start, End sim.Time
+	// Segments tile [Start, End] in chronological order.
+	Segments []PathSegment
+}
+
+// Length returns End - Start; by construction it equals the sum of the
+// segment durations.
+func (p *CritPath) Length() sim.Time { return p.End - p.Start }
+
+// IdleTime returns the total length of the idle segments.
+func (p *CritPath) IdleTime() sim.Time {
+	var t sim.Time
+	for _, s := range p.Segments {
+		if s.Idle {
+			t += s.Dur()
+		}
+	}
+	return t
+}
+
+// Contributor aggregates the path time charged to one (lane, name) pair.
+type Contributor struct {
+	// Label is the segment label ("node1/gpu kernel", "idle").
+	Label string
+	// Total is the path time the label accounts for.
+	Total sim.Time
+	// Count is the number of path segments with the label.
+	Count int
+}
+
+// Top returns the n largest contributors to the path, by total time.
+func (p *CritPath) Top(n int) []Contributor {
+	acc := map[string]*Contributor{}
+	for _, s := range p.Segments {
+		label := s.Label()
+		c := acc[label]
+		if c == nil {
+			c = &Contributor{Label: label}
+			acc[label] = c
+		}
+		c.Total += s.Dur()
+		c.Count++
+	}
+	out := make([]Contributor, 0, len(acc))
+	for _, c := range acc {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Label < out[j].Label
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// CriticalPath computes the critical path of the spans in events over the
+// window [opt.Start, opt.End] (both zero: the extent of the events).
+// Instants and counters are ignored.
+func CriticalPath(events []Event, opt SummaryOptions) *CritPath {
+	spans := make([]Event, 0, len(events))
+	lo, hi := opt.Start, opt.End
+	auto := lo == 0 && hi == 0
+	first := true
+	for _, ev := range events {
+		if ev.Kind != KindSpan {
+			continue
+		}
+		spans = append(spans, ev)
+		if auto {
+			if first || ev.Start < lo {
+				lo = ev.Start
+			}
+			if first || ev.End() > hi {
+				hi = ev.End()
+			}
+			first = false
+		}
+	}
+	p := &CritPath{Start: lo, End: hi}
+	if hi <= lo {
+		return p
+	}
+
+	// Sort by (Start, Seq) and precompute, for every prefix, which span ends
+	// latest — the candidate that gates any instant after its start.
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Seq < spans[j].Seq
+	})
+	bestEnd := make([]int, len(spans)) // bestEnd[k]: argmax End over spans[:k+1]
+	for i := range spans {
+		bestEnd[i] = i
+		if i > 0 && spans[bestEnd[i-1]].End() >= spans[i].End() {
+			bestEnd[i] = bestEnd[i-1]
+		}
+	}
+
+	// Walk backward from the window end, charging each interval to the
+	// latest-ending span that started before it; uncovered intervals become
+	// idle segments. Every step strictly decreases t (chosen spans start
+	// strictly before t; idle steps end strictly before t), so the walk
+	// terminates and the emitted segments tile [lo, hi].
+	t := hi
+	for t > lo {
+		// Spans with Start < t form the prefix [0, k).
+		k := sort.Search(len(spans), func(i int) bool { return spans[i].Start >= t })
+		if k == 0 {
+			p.Segments = append(p.Segments, PathSegment{Start: lo, End: t, Idle: true})
+			break
+		}
+		sp := spans[bestEnd[k-1]]
+		if sp.End() < t {
+			p.Segments = append(p.Segments, PathSegment{Start: sp.End(), End: t, Idle: true})
+			t = sp.End()
+			continue
+		}
+		segStart := sp.Start
+		if segStart < lo {
+			segStart = lo
+		}
+		p.Segments = append(p.Segments, PathSegment{Start: segStart, End: t, Span: sp})
+		t = segStart
+	}
+	// The walk emitted segments latest-first; present them chronologically.
+	for i, j := 0, len(p.Segments)-1; i < j; i, j = i+1, j-1 {
+		p.Segments[i], p.Segments[j] = p.Segments[j], p.Segments[i]
+	}
+	return p
+}
+
+// Report renders the path summary: length, idle share, the top n
+// contributors, and the chronological chain (elided in the middle when
+// longer than 2n segments).
+func (p *CritPath) Report(n int) string {
+	if n <= 0 {
+		n = 10
+	}
+	var sb strings.Builder
+	length := p.Length()
+	idle := p.IdleTime()
+	fmt.Fprintf(&sb, "critical path: %v over [%v, %v] in %d segments",
+		length, p.Start, p.End, len(p.Segments))
+	if length > 0 {
+		fmt.Fprintf(&sb, " (idle %v, %.1f%%)", idle, 100*float64(idle)/float64(length))
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "top contributors:\n")
+	for _, c := range p.Top(n) {
+		share := 0.0
+		if length > 0 {
+			share = 100 * float64(c.Total) / float64(length)
+		}
+		fmt.Fprintf(&sb, "  %-28s %14v %6.1f%%  (%d segments)\n", c.Label, c.Total, share, c.Count)
+	}
+	segs := p.Segments
+	if len(segs) > 2*n {
+		fmt.Fprintf(&sb, "chain (first and last %d of %d segments):\n", n, len(segs))
+		segs = append(append([]PathSegment{}, segs[:n]...), segs[len(segs)-n:]...)
+	} else {
+		fmt.Fprintf(&sb, "chain:\n")
+	}
+	for _, s := range segs {
+		fmt.Fprintf(&sb, "  [%12v +%12v] %s\n", s.Start, s.Dur(), s.Label())
+	}
+	return sb.String()
+}

@@ -1,0 +1,307 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// This file derives per-node metrics from the event stream: lane busy time
+// and utilization (computed as an interval union, so overlapping spans on a
+// lane can never push utilization past 100%), achieved transfer/IO
+// bandwidth from span payload bytes, steal counts, and queue-depth
+// statistics from counter samples. These are the numbers the ISSUE's
+// "utilization table" prints and the property tests audit.
+
+// LaneMetrics summarises one timeline lane over the analysis window.
+type LaneMetrics struct {
+	// Lane is the (node, track) the metrics describe.
+	Lane Lane
+	// Spans is the number of span events on the lane.
+	Spans int
+	// Busy is the union of the lane's span intervals clipped to the
+	// window — concurrent spans are not double-counted, so
+	// Busy <= window length always holds.
+	Busy sim.Time
+	// Bytes is the summed payload of the lane's spans (meaningful on
+	// transfer/IO lanes, where emitters set Value to bytes moved).
+	Bytes int64
+}
+
+// Utilization returns Busy as a fraction of the window ([0,1]).
+func (m LaneMetrics) Utilization(window sim.Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(m.Busy) / float64(window)
+}
+
+// BandwidthGBs returns the lane's achieved bandwidth in GB/s (bytes over
+// busy time), or 0 when the lane was never busy.
+func (m LaneMetrics) BandwidthGBs() float64 {
+	if m.Busy <= 0 {
+		return 0
+	}
+	return float64(m.Bytes) / float64(m.Busy) // bytes/ns == GB/s
+}
+
+// NodeMetrics aggregates the lanes of one tree node.
+type NodeMetrics struct {
+	// Node is the topo node ID, or NoNode for the runtime pseudo-node.
+	Node int
+	// Lanes holds the node's lane metrics sorted by track name.
+	Lanes []LaneMetrics
+	// Steals counts "steal" instants attributed to the node.
+	Steals int64
+	// QueueSamples, QueueMax and QueueMean summarise the node's
+	// queue-depth counter samples.
+	QueueSamples int
+	QueueMax     int64
+	QueueMean    float64
+}
+
+// Lane returns the node's metrics for a track, or a zero value.
+func (n *NodeMetrics) Lane(track string) LaneMetrics {
+	for _, lm := range n.Lanes {
+		if lm.Lane.Track == track {
+			return lm
+		}
+	}
+	return LaneMetrics{Lane: Lane{Node: n.Node, Track: track}}
+}
+
+// Summary is the derived-metrics view of an event stream.
+type Summary struct {
+	// Start and End delimit the analysis window.
+	Start, End sim.Time
+	// Nodes holds per-node metrics sorted by node ID (NoNode first).
+	Nodes []NodeMetrics
+	// Events, Spans, Instants and Counters count the analysed stream.
+	Events, Spans, Instants, Counters int
+	// Steals is the total steal count across nodes.
+	Steals int64
+	// NominalBW optionally maps a node to its nominal bandwidth in GB/s
+	// for the "achieved vs nominal" column (set via SummaryOptions).
+	NominalBW map[int]float64
+}
+
+// Window returns the analysis window length.
+func (s *Summary) Window() sim.Time { return s.End - s.Start }
+
+// Node returns the metrics of one node, or nil.
+func (s *Summary) Node(id int) *NodeMetrics {
+	for i := range s.Nodes {
+		if s.Nodes[i].Node == id {
+			return &s.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// SummaryOptions customises Summarize.
+type SummaryOptions struct {
+	// Start and End override the analysis window; both zero means "use the
+	// extent of the events".
+	Start, End sim.Time
+	// NominalBW maps node IDs to nominal bandwidth (GB/s) for the
+	// achieved-vs-nominal comparison. May be nil.
+	NominalBW map[int]float64
+}
+
+// unionLen returns the total length of the union of [start,end) intervals,
+// clipped to [lo, hi). ivs must be sorted by start.
+func unionLen(ivs [][2]sim.Time, lo, hi sim.Time) sim.Time {
+	var total sim.Time
+	curLo, curHi := sim.Time(0), sim.Time(0)
+	open := false
+	for _, iv := range ivs {
+		s, e := iv[0], iv[1]
+		if s < lo {
+			s = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		if e <= s {
+			continue
+		}
+		if !open {
+			curLo, curHi, open = s, e, true
+			continue
+		}
+		if s > curHi {
+			total += curHi - curLo
+			curLo, curHi = s, e
+		} else if e > curHi {
+			curHi = e
+		}
+	}
+	if open {
+		total += curHi - curLo
+	}
+	return total
+}
+
+// Summarize derives per-node metrics from an event stream.
+func Summarize(events []Event, opt SummaryOptions) *Summary {
+	s := &Summary{Start: opt.Start, End: opt.End, NominalBW: opt.NominalBW}
+	if s.Start == 0 && s.End == 0 {
+		first := true
+		for _, ev := range events {
+			if first || ev.Start < s.Start {
+				s.Start = ev.Start
+			}
+			if first || ev.End() > s.End {
+				s.End = ev.End()
+			}
+			first = false
+		}
+	}
+
+	type laneAcc struct {
+		spans int
+		bytes int64
+		ivs   [][2]sim.Time
+	}
+	type nodeAcc struct {
+		lanes    map[string]*laneAcc
+		steals   int64
+		qSamples int
+		qMax     int64
+		qSum     int64
+	}
+	nodes := map[int]*nodeAcc{}
+	getNode := func(id int) *nodeAcc {
+		na := nodes[id]
+		if na == nil {
+			na = &nodeAcc{lanes: map[string]*laneAcc{}}
+			nodes[id] = na
+		}
+		return na
+	}
+
+	for _, ev := range sortEventsForAnalysis(events) {
+		s.Events++
+		na := getNode(ev.Lane.Node)
+		switch ev.Kind {
+		case KindSpan:
+			s.Spans++
+			la := na.lanes[ev.Lane.Track]
+			if la == nil {
+				la = &laneAcc{}
+				na.lanes[ev.Lane.Track] = la
+			}
+			la.spans++
+			la.bytes += ev.Value
+			la.ivs = append(la.ivs, [2]sim.Time{ev.Start, ev.End()})
+		case KindInstant:
+			s.Instants++
+			if ev.Name == "steal" {
+				na.steals++
+				s.Steals++
+			}
+		case KindCounter:
+			s.Counters++
+			if ev.Lane.Track == TrackQueue {
+				na.qSamples++
+				na.qSum += ev.Value
+				if ev.Value > na.qMax {
+					na.qMax = ev.Value
+				}
+			}
+		}
+	}
+
+	ids := make([]int, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		na := nodes[id]
+		nm := NodeMetrics{Node: id, Steals: na.steals,
+			QueueSamples: na.qSamples, QueueMax: na.qMax}
+		if na.qSamples > 0 {
+			nm.QueueMean = float64(na.qSum) / float64(na.qSamples)
+		}
+		tracks := make([]string, 0, len(na.lanes))
+		for t := range na.lanes {
+			tracks = append(tracks, t)
+		}
+		sort.Strings(tracks)
+		for _, t := range tracks {
+			la := na.lanes[t]
+			// Spans are emitted at completion, so ivs is sorted by end, not
+			// start; sort by start for the union walk.
+			sort.Slice(la.ivs, func(i, j int) bool { return la.ivs[i][0] < la.ivs[j][0] })
+			nm.Lanes = append(nm.Lanes, LaneMetrics{
+				Lane:  Lane{Node: id, Track: t},
+				Spans: la.spans,
+				Bytes: la.bytes,
+				Busy:  unionLen(la.ivs, s.Start, s.End),
+			})
+		}
+		s.Nodes = append(s.Nodes, nm)
+	}
+	return s
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// Report renders the utilization table: one row per lane with busy time,
+// utilization, moved bytes and achieved bandwidth (with the nominal figure
+// alongside when known), followed by per-node steal and queue-depth lines.
+func (s *Summary) Report() string {
+	var sb strings.Builder
+	window := s.Window()
+	fmt.Fprintf(&sb, "window %v (%d events: %d spans, %d instants, %d counters)\n",
+		window, s.Events, s.Spans, s.Instants, s.Counters)
+	fmt.Fprintf(&sb, "%-18s %6s %14s %8s %10s %12s\n",
+		"lane", "spans", "busy", "util", "bytes", "bandwidth")
+	for _, nm := range s.Nodes {
+		for _, lm := range nm.Lanes {
+			bwCol := "-"
+			// Payload/busy is a bandwidth only on movement lanes; on task or
+			// alloc lanes Value is a work size, not bytes crossing an edge.
+			if lm.Bytes > 0 && lm.Busy > 0 &&
+				(lm.Lane.Track == TrackXfer || lm.Lane.Track == TrackIO) {
+				bwCol = fmt.Sprintf("%.2fGB/s", lm.BandwidthGBs())
+				if nom, ok := s.NominalBW[nm.Node]; ok && nom > 0 {
+					bwCol = fmt.Sprintf("%.2f/%.0fGB/s", lm.BandwidthGBs(), nom)
+				}
+			}
+			bytesCol := "-"
+			if lm.Bytes > 0 {
+				bytesCol = fmtBytes(lm.Bytes)
+			}
+			fmt.Fprintf(&sb, "%-18s %6d %14v %7.1f%% %10s %12s\n",
+				lm.Lane, lm.Spans, lm.Busy, 100*lm.Utilization(window), bytesCol, bwCol)
+		}
+	}
+	for _, nm := range s.Nodes {
+		if nm.Steals == 0 && nm.QueueSamples == 0 {
+			continue
+		}
+		label := "runtime"
+		if nm.Node != NoNode {
+			label = fmt.Sprintf("node%d", nm.Node)
+		}
+		fmt.Fprintf(&sb, "%-18s steals %d | queue depth max %d mean %.1f (%d samples)\n",
+			label, nm.Steals, nm.QueueMax, nm.QueueMean, nm.QueueSamples)
+	}
+	return sb.String()
+}

@@ -240,12 +240,16 @@ func (b *Breakdown) String() string {
 	return strings.Join(parts, " | ")
 }
 
-// Report renders a multi-line table with absolute times and shares.
+// Report renders a multi-line table with absolute times and two shares:
+// of the busy sum (the paper's stacked bars) and of elapsed time — the
+// latter is what §V-B's "runtime bookkeeping below 1%" bounds, and can sum
+// past 100% across categories when activities overlap.
 func (b *Breakdown) Report() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-10s %14s %8s\n", "component", "busy", "share")
+	fmt.Fprintf(&sb, "%-10s %14s %8s %11s\n", "component", "busy", "share", "of-elapsed")
 	for _, c := range Categories {
-		fmt.Fprintf(&sb, "%-10s %14v %7.1f%%\n", c, b.busy[c], 100*b.Fraction(c))
+		fmt.Fprintf(&sb, "%-10s %14v %7.1f%% %10.1f%%\n",
+			c, b.busy[c], 100*b.Fraction(c), 100*b.FractionOfTotal(c))
 	}
 	fmt.Fprintf(&sb, "%-10s %14v\n", "elapsed", b.total)
 	if b.cache.Any() {

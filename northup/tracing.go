@@ -1,0 +1,102 @@
+package northup
+
+// This file re-exports the event-tracing surface (package trace): a bounded
+// deterministic recorder the runtime feeds when Options.Trace is set, the
+// Chrome/Perfetto trace_event exporter, derived per-node metrics, and the
+// critical-path walker. Tracing is off by default and costs one branch per
+// potential event when disabled.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// Event-tracing types.
+type (
+	// TraceOptions sizes the recorder's bounded ring buffer.
+	TraceOptions = trace.Options
+	// TraceRecorder collects events in virtual-time order. Hand it to the
+	// runtime via Options.Trace before NewRuntime.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded span, instant, or counter sample.
+	TraceEvent = trace.Event
+	// TraceLane is a timeline lane: a (tree node, track) pair.
+	TraceLane = trace.Lane
+	// TraceSummary holds per-node metrics derived from an event stream:
+	// lane utilization, achieved bandwidth, steal counts, queue depth.
+	TraceSummary = trace.Summary
+	// TraceSummaryOptions customises SummarizeTrace (window, nominal BW).
+	TraceSummaryOptions = trace.SummaryOptions
+	// TraceCritPath is a chain of segments tiling the analysis window;
+	// its Length always equals the window (makespan attribution).
+	TraceCritPath = trace.CritPath
+	// TraceExportOptions customises the Chrome trace_event export.
+	TraceExportOptions = trace.ChromeExportOptions
+	// ParsedTrace is a trace file read back for offline analysis.
+	ParsedTrace = trace.ParsedTrace
+)
+
+// NewTraceRecorder returns a recorder; a zero MaxEvents keeps the default
+// ring capacity.
+func NewTraceRecorder(opts TraceOptions) *TraceRecorder {
+	return trace.NewRecorder(opts)
+}
+
+// WriteChromeTrace writes events as Chrome trace_event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Output is byte-identical
+// for identical event streams.
+func WriteChromeTrace(w io.Writer, events []TraceEvent, opt TraceExportOptions) error {
+	return trace.WriteChromeTrace(w, events, opt)
+}
+
+// ParseChromeTrace reads back a trace produced by WriteChromeTrace.
+func ParseChromeTrace(data []byte) (*ParsedTrace, error) {
+	return trace.ParseChromeTrace(data)
+}
+
+// ValidateChromeTrace checks that data is a well-formed Chrome trace.
+func ValidateChromeTrace(data []byte) error {
+	return trace.ValidateChromeTrace(data)
+}
+
+// SummarizeTrace derives per-node metrics from an event stream.
+func SummarizeTrace(events []TraceEvent, opt TraceSummaryOptions) *TraceSummary {
+	return trace.Summarize(events, opt)
+}
+
+// TraceCriticalPath walks the event stream backward from the end of the
+// window, attributing every instant of the makespan to the latest-ending
+// span covering it (or to idle time).
+func TraceCriticalPath(events []TraceEvent, opt TraceSummaryOptions) *TraceCritPath {
+	return trace.CriticalPath(events, opt)
+}
+
+// TraceLaneNames returns the distinct lane names of an event stream in
+// display order ("node0/io", "node1/gpu", ...).
+func TraceLaneNames(events []TraceEvent) []string {
+	return trace.LaneNames(events)
+}
+
+// TraceNodeLabeler returns a NodeLabel function describing the tree's nodes
+// ("dram L1", "ssd L0") for the exporter's process names.
+func TraceNodeLabeler(t *Tree) func(int) string {
+	return func(id int) string {
+		if id < 0 || id >= t.NumNodes() {
+			return ""
+		}
+		n := t.Node(id)
+		return fmt.Sprintf("%s L%d", n.Mem.Kind(), n.Level)
+	}
+}
+
+// NominalBandwidth maps every tree node to its device's nominal sequential
+// read bandwidth in GB/s, for the summary's achieved-vs-nominal column.
+func NominalBandwidth(t *Tree) map[int]float64 {
+	bw := make(map[int]float64, t.NumNodes())
+	for _, n := range t.Nodes() {
+		bw[n.ID] = n.Mem.Profile().ReadBW / 1e9
+	}
+	return bw
+}
