@@ -1,13 +1,15 @@
 # Build and test gates for the Northup reproduction.
 #
-#   make check      tier-1 gate: build + full test suite (the CI floor)
-#   make strict     tier-2 gate: vet + race-instrumented tests + trace demo
-#   make bench-json staging-cache figure benchmarks -> BENCH_cache.json
-#   make all        both gates plus the benchmark artifact
+#   make check       tier-1 gate: build + full test suite (the CI floor)
+#   make strict      tier-2 gate: vet + race tests + trace demo + perf gate
+#   make bench-json  benchmark artifacts -> BENCH_cache.json, BENCH_perf.json
+#   make bench-check perf-regression gate: re-run the perf suite (race
+#                    detector on) and diff against the committed BENCH_perf.json
+#   make all         both gates plus the benchmark artifacts
 
 GO ?= go
 
-.PHONY: all build test vet race check strict bench bench-json trace-demo clean
+.PHONY: all build test vet race check strict bench bench-json bench-check trace-demo clean
 
 all: check strict bench-json
 
@@ -26,8 +28,9 @@ race:
 # Tier-1: what every change must keep green.
 check: build test
 
-# Tier-2: static analysis, the race detector, and the trace round-trip.
-strict: vet race trace-demo
+# Tier-2: static analysis, the race detector, the trace round-trip, and the
+# perf-regression gate.
+strict: vet race trace-demo bench-check
 
 # End-to-end tracing smoke: capture a small traced run, then require the
 # exported Chrome trace to validate through the offline analyser.
@@ -41,11 +44,20 @@ trace-demo:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-# Machine-readable staging-cache sweep (name, virtual time, speedup, hit
-# rate per capacity point), plus the matching -benchtime=1x ablation run.
+# Machine-readable artifacts: the staging-cache sweep (name, virtual time,
+# speedup, hit rate per capacity point) plus the matching -benchtime=1x
+# ablation run, and the paper-scale perf baseline the regression gate diffs
+# against. Both are committed; regenerate after intentional model changes.
 bench-json:
 	$(GO) run ./cmd/northup-bench -fig cache -format json > BENCH_cache.json
 	$(GO) test -bench=BenchmarkAblationShardCache -benchtime=1x -run=^$$ .
+	$(GO) run ./cmd/northup-bench -baseline BENCH_perf.json
+
+# Perf-regression gate: re-run the paper-scale perf suite under the race
+# detector and diff every metric against the committed baseline with
+# per-metric tolerances; a ≥5% drift (either direction) fails the build.
+bench-check:
+	$(GO) run -race ./cmd/northup-bench -check BENCH_perf.json
 
 clean:
 	$(GO) clean ./...

@@ -2,13 +2,22 @@
 //
 // Usage:
 //
-//	northup-bench [-fig 6|7|8|8disk|9|11|overhead|cache|all] [-scale 1|2|4|8]
+//	northup-bench [-fig 6|7|8|8disk|9|11|overhead|cache|perf|all] [-scale 1|2|4|8]
 //	              [-format table|csv|json]
+//	northup-bench -baseline BENCH_perf.json [-scale 1|2|4|8]
+//	northup-bench -check BENCH_perf.json
 //
 // Each figure driver runs the real runtime and applications in phantom
 // (timing-only) mode at the paper's input sizes and prints the rows/series
 // the corresponding figure plots. -scale shrinks every dimension coherently
 // for quick looks.
+//
+// -baseline runs the perf suite (GEMM, HotSpot, SpMV out-of-core on the SSD
+// tree with the metrics registry attached) and writes the profile to the
+// given file; commit it as the repo's perf baseline. -check re-runs the
+// suite at the baseline's recorded scale, diffs every metric against the
+// baseline with per-metric tolerances, prints the report, and exits 1 on
+// regression — the CI perf gate (`make bench-check`).
 package main
 
 import (
@@ -21,12 +30,23 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 8disk, 9, 11, overhead, cache, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 8disk, 9, 11, overhead, cache, perf, all")
 	scale := flag.Int("scale", 1, "divide the paper's input dimensions (1, 2, 4, 8)")
-	format := flag.String("format", "table", "output format: table, csv, or json (cache only)")
+	format := flag.String("format", "table", "output format: table, csv, or json")
+	baseline := flag.String("baseline", "", "run the perf suite and write the baseline profile to this file")
+	check := flag.String("check", "", "re-run the perf suite and diff against this baseline; exit 1 on regression")
 	flag.Parse()
 
 	o := figures.Options{Scale: *scale}
+
+	if *baseline != "" {
+		writeBaseline(*baseline, o)
+		return
+	}
+	if *check != "" {
+		checkBaseline(*check)
+		return
+	}
 	run := func(name string, fn func() (figures.Renderer, error)) {
 		start := time.Now()
 		res, err := fn()
@@ -52,9 +72,10 @@ func main() {
 	}
 
 	known := map[string]bool{"all": true, "6": true, "7": true, "8": true,
-		"8disk": true, "9": true, "11": true, "overhead": true, "cache": true}
+		"8disk": true, "9": true, "11": true, "overhead": true, "cache": true,
+		"perf": true}
 	if !known[*fig] {
-		fmt.Fprintf(os.Stderr, "northup-bench: unknown figure %q (want 6, 7, 8, 8disk, 9, 11, overhead, cache, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "northup-bench: unknown figure %q (want 6, 7, 8, 8disk, 9, 11, overhead, cache, perf, all)\n", *fig)
 		os.Exit(2)
 	}
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -82,5 +103,50 @@ func main() {
 	}
 	if want("cache") {
 		run("staging-cache ablation", func() (figures.Renderer, error) { return figures.CacheAblation(o) })
+	}
+	if want("perf") {
+		run("perf profile", func() (figures.Renderer, error) { return figures.PerfSuite(o) })
+	}
+}
+
+// writeBaseline runs the perf suite and writes the baseline document.
+func writeBaseline(path string, o figures.Options) {
+	prof, err := figures.PerfSuite(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "northup-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, []byte(prof.JSON()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "northup-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("perf baseline (scale %d, %d apps) -> %s\n",
+		prof.Scale, len(prof.Apps), path)
+}
+
+// checkBaseline re-runs the suite at the baseline's scale and diffs.
+func checkBaseline(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "northup-bench: %v\n", err)
+		os.Exit(1)
+	}
+	base, err := figures.ParsePerfProfile(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "northup-bench: %v\n", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	got, err := figures.PerfSuite(figures.Options{Scale: base.Scale})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "northup-bench: %v\n", err)
+		os.Exit(1)
+	}
+	c := base.Check(got)
+	fmt.Print(c.Report())
+	fmt.Printf("(suite re-ran at scale %d in %.1fs wall time)\n",
+		base.Scale, time.Since(start).Seconds())
+	if !c.OK() {
+		os.Exit(1)
 	}
 }

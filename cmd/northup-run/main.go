@@ -8,6 +8,8 @@
 //	            [-faults seed=N,rate=P,...] [-retries K]
 //	            [-cache] [-cache-mib M] [-cache-share F] [-prefetch]
 //	            [-trace-out trace.json] [-trace-events N] [-metrics]
+//	            [-metrics-out metrics.json] [-metrics-prom metrics.prom]
+//	            [-sample-tick-ms T]
 //
 // With -trace-out the run records every span, instant and counter on the
 // virtual timeline and writes a Chrome trace_event file loadable in Perfetto
@@ -15,6 +17,14 @@
 // one thread per lane. -metrics prints the derived per-node utilization
 // table and the critical path attributing the makespan; either flag enables
 // recording. Identical runs produce byte-identical trace files.
+//
+// With -metrics-out or -metrics-prom the runtime additionally carries the
+// continuous metrics registry — per-category busy-time counters and span
+// histograms, moved bytes, cache/resilience/fault counters, queue and
+// bandwidth gauges — and writes it after the run as JSON or Prometheus text.
+// -sample-tick-ms enables the virtual-time sampler, adding deterministic
+// gauge time series to the JSON export. Identical runs produce byte-identical
+// metric files.
 //
 // With -cache the runtime interposes a reuse-aware staging cache on the
 // MoveDataDownCached path: repeated reads of the same source extent are
@@ -61,6 +71,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace_event JSON file")
 	traceEvents := flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = default)")
 	metrics := flag.Bool("metrics", false, "print per-node utilization metrics and the critical path")
+	metricsOut := flag.String("metrics-out", "", "write the continuous metrics registry as JSON")
+	metricsProm := flag.String("metrics-prom", "", "write the continuous metrics registry as Prometheus text")
+	sampleTickMS := flag.Int64("sample-tick-ms", 0, "sample gauges every T virtual milliseconds into the JSON export (0 = off)")
 	flag.Parse()
 
 	e := northup.NewEngine()
@@ -94,6 +107,17 @@ func main() {
 	if *traceOut != "" || *metrics {
 		rec = northup.NewTraceRecorder(northup.TraceOptions{MaxEvents: *traceEvents})
 		opts.Trace = rec
+	}
+	var reg *northup.MetricsRegistry
+	var sampler *northup.MetricsSampler
+	if *metricsOut != "" || *metricsProm != "" {
+		reg = northup.NewMetricsRegistry()
+		opts.Metrics = reg
+		if *sampleTickMS > 0 {
+			sampler = northup.NewMetricsSampler(reg,
+				northup.SamplerOptions{Tick: northup.Time(*sampleTickMS) * northup.Millisecond})
+			opts.Sampler = sampler
+		}
 	}
 	rt := northup.NewRuntime(e, tree, opts)
 
@@ -174,7 +198,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "northup-run: trace ring overflowed, oldest %d events dropped (raise -trace-events)\n", n)
 		}
 		if *traceOut != "" {
-			if err := writeTrace(*traceOut, events, tree); err != nil {
+			if err := writeTrace(*traceOut, events, tree, rec.Dropped()); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("\ntrace: %d events -> %s\n", len(events), *traceOut)
@@ -186,16 +210,51 @@ func main() {
 			fmt.Printf("\n%s", northup.TraceCriticalPath(events, northup.TraceSummaryOptions{}).Report(8))
 		}
 	}
+	if reg != nil {
+		rt.SyncMetrics()
+		if *metricsOut != "" {
+			if err := writeFileWith(*metricsOut, func(f *os.File) error {
+				return northup.WriteMetricsJSON(f, reg, sampler)
+			}); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("metrics: %d metric(s) -> %s\n", reg.Len(), *metricsOut)
+		}
+		if *metricsProm != "" {
+			if err := writeFileWith(*metricsProm, func(f *os.File) error {
+				return northup.WriteMetricsPrometheus(f, reg)
+			}); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("metrics: %d metric(s) -> %s\n", reg.Len(), *metricsProm)
+		}
+	}
 }
 
-// writeTrace exports the recorded events as Chrome trace_event JSON.
-func writeTrace(path string, events []northup.TraceEvent, tree *northup.Tree) error {
+// writeFileWith creates path and streams render into it.
+func writeFileWith(path string, render func(f *os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace exports the recorded events as Chrome trace_event JSON. The
+// drop count travels in the file's metadata, so northup-trace -validate
+// rejects an incomplete trace instead of analysing it silently.
+func writeTrace(path string, events []northup.TraceEvent, tree *northup.Tree, dropped int64) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	if err := northup.WriteChromeTrace(f, events,
-		northup.TraceExportOptions{NodeLabel: northup.TraceNodeLabeler(tree)}); err != nil {
+		northup.TraceExportOptions{NodeLabel: northup.TraceNodeLabeler(tree),
+			DroppedEvents: dropped}); err != nil {
 		f.Close()
 		return err
 	}

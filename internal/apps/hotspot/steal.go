@@ -198,11 +198,36 @@ func stealCompute(lc *core.Ctx, blk *Block, d int, cfg StealConfig, res *StealRe
 	lc.Node().Queues = monitors
 
 	// With tracing active, every steal becomes an instant on the victim
-	// queue's lane (hook closures are only built when someone listens).
-	if lc.Runtime().TraceRecorder() != nil {
+	// queue's lane; with metrics active, pushes/pops/steals maintain the
+	// node's live depth gauge and the pop/steal totals. Hook closures are
+	// only built when someone listens.
+	rtm := lc.Runtime()
+	traceOn := rtm.TraceRecorder() != nil
+	metricsOn := rtm.MetricsEnabled()
+	if traceOn || metricsOn {
+		noteDepth := func() {
+			if metricsOn {
+				rtm.NoteQueueDepth(nodeID, int64(sched.TotalLen(queues)))
+			}
+		}
 		for i, q := range queues {
 			qi := int64(i)
-			q.OnSteal = func() { lc.TraceInstant(trace.TrackQueue, "steal", qi) }
+			q.OnSteal = func() {
+				if traceOn {
+					lc.TraceInstant(trace.TrackQueue, "steal", qi)
+				}
+				if metricsOn {
+					rtm.NoteSteals(1)
+				}
+				noteDepth()
+			}
+			if metricsOn {
+				q.OnPush = noteDepth
+				q.OnPop = func() {
+					rtm.NotePops(1)
+					noteDepth()
+				}
+			}
 		}
 	}
 
@@ -312,12 +337,15 @@ func stealCompute(lc *core.Ctx, blk *Block, d int, cfg StealConfig, res *StealRe
 		}
 		// Sample the queue depth at each iteration barrier: full after the
 		// refill, and (once the iteration drains) empty again — the sawtooth
-		// a traced timeline shows per Jacobi step.
+		// a traced timeline shows per Jacobi step. The metrics gauge sees the
+		// same instants (plus every push/pop/steal through the hooks above).
 		lc.TraceCounter(trace.TrackQueue, "depth", int64(sched.TotalLen(queues)))
+		lc.Runtime().NoteQueueDepth(lc.Node().ID, int64(sched.TotalLen(queues)))
 		done.Add(nq)
 		start[it].Fire()
 		done.Wait(lc.Proc())
 		lc.TraceCounter(trace.TrackQueue, "depth", int64(sched.TotalLen(queues)))
+		lc.Runtime().NoteQueueDepth(lc.Node().ID, int64(sched.TotalLen(queues)))
 		if blk != nil {
 			blk.Swap()
 		}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -60,6 +61,13 @@ type Cluster struct {
 
 // New builds a cluster of n machines. buildTree constructs machine i's
 // topology on the shared engine; opts apply to every machine's runtime.
+//
+// A non-nil opts.Metrics turns continuous metrics on for the whole cluster,
+// but each machine gets its own fresh registry (and, when opts.Sampler is
+// set, its own sampler at the same tick) so per-machine accounting stays
+// separable — read them via Machine(i).RT.Metrics(), and roll them up into
+// one cluster-wide registry with MergedMetrics. The registry passed in opts
+// itself is not shared with any machine.
 func New(e *sim.Engine, n int, spec FabricSpec, opts core.Options,
 	buildTree func(e *sim.Engine, i int) *topo.Tree) (*Cluster, error) {
 	if n < 1 {
@@ -70,13 +78,47 @@ func New(e *sim.Engine, n int, spec FabricSpec, opts core.Options,
 		fabric: &Fabric{BW: spec.BW, Latency: spec.Latency},
 	}
 	for i := 0; i < n; i++ {
+		mopts := opts
+		if opts.Metrics != nil {
+			mopts.Metrics = obs.NewRegistry()
+			if opts.Sampler != nil {
+				mopts.Sampler = obs.NewSampler(mopts.Metrics,
+					obs.SamplerOptions{Tick: opts.Sampler.Tick()})
+			}
+		}
 		tree := buildTree(e, i)
 		cl.machines = append(cl.machines, &Machine{
-			ID: i, Tree: tree, RT: core.NewRuntime(e, tree, opts),
+			ID: i, Tree: tree, RT: core.NewRuntime(e, tree, mopts),
 		})
 		cl.fabric.ports = append(cl.fabric.ports, sim.NewResource(e, 1))
 	}
 	return cl, nil
+}
+
+// MergedMetrics syncs every machine's registry and merges them into one
+// fresh cluster-wide registry: counters and histogram buckets add (the
+// fixed bucket bounds make the merge associative, so the result is
+// independent of machine order), and additive gauges like queue depth sum.
+// Ratio gauges (cache hit rate, bandwidth utilization) are per-machine
+// quantities; recompute cluster-wide ratios from the merged counters rather
+// than reading them off the merged registry. Returns nil when the cluster
+// was built without metrics.
+func (cl *Cluster) MergedMetrics() *obs.Registry {
+	merged := obs.NewRegistry()
+	any := false
+	for _, m := range cl.machines {
+		reg := m.RT.Metrics()
+		if reg == nil {
+			continue
+		}
+		m.RT.SyncMetrics()
+		merged.Merge(reg)
+		any = true
+	}
+	if !any {
+		return nil
+	}
+	return merged
 }
 
 // Size returns the machine count.

@@ -32,6 +32,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/device"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -75,6 +76,19 @@ type Options struct {
 	// kernels, allocations and bookkeeping; instants for cache activity,
 	// faults and steals. Nil (the default) disables tracing at zero cost.
 	Trace *trace.Recorder
+
+	// Metrics, when non-nil, is the registry the runtime continuously
+	// populates (see metrics.go and package obs): busy time, span counts
+	// and duration histograms per category, per-node byte totals and
+	// bandwidth utilization, cache/resilience/fault counters, queue depth.
+	// Nil (the default) disables metrics at zero cost.
+	Metrics *obs.Registry
+
+	// Sampler, when non-nil, snapshots the registry's gauges at its
+	// virtual-time tick, producing deterministic time series. It must have
+	// been built on Metrics (obs.NewSampler(Metrics, ...)); it is ignored
+	// without a registry.
+	Sampler *obs.Sampler
 }
 
 // DefaultOptions returns the standard bookkeeping costs.
@@ -96,6 +110,7 @@ type Runtime struct {
 	bd      trace.Breakdown
 	res     ResilienceStats
 	rec     *trace.Recorder     // event recorder, nil when tracing is off
+	met     *runtimeMetrics     // metrics handles, nil when metrics are off
 	spanObs []func(trace.Event) // span observers (profile-guided scheduling)
 	bufSeq  int
 	bufIDs  int64 // stable buffer identities keying cache entries
@@ -127,6 +142,9 @@ func NewRuntime(e *sim.Engine, t *topo.Tree, opts Options) *Runtime {
 		if !n.Kind().IsFileStore() {
 			rt.allocs[n.ID] = alloc.New(n.Mem)
 		}
+	}
+	if opts.Metrics != nil {
+		rt.met = newRuntimeMetrics(rt, opts.Metrics, opts.Sampler)
 	}
 	return rt
 }
@@ -205,6 +223,7 @@ func (rt *Runtime) Run(name string, fn func(c *Ctx) error) (RunStats, error) {
 	}
 	elapsed := rt.engine.Now() - start
 	rt.bd.SetTotal(elapsed)
+	rt.SyncMetrics()
 	// The snapshot reports only this run's deltas, so several phases (e.g.
 	// preprocessing, then the measured pass) can share one runtime.
 	snap := rt.bd.DeltaFrom(&before)

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file wires the continuous-metrics registry (package obs) into the
+// runtime. The design mirrors tracing.go's single-charge-point rule: busy
+// time, span counts and span-duration histograms are fed from chargeSpan —
+// the same call that feeds the Breakdown — so metric totals reconcile with
+// Breakdown totals bit-for-bit by construction. Sources that mutate state
+// at scattered sites (cache stats, resilience counters, the fault
+// injector, the trace ring's drop count) are mirrored into the registry by
+// syncMetrics, which raises each counter to its source's cumulative total;
+// the sync runs at every sampler tick and at the end of Run, so exports and
+// sampled series always agree with the runtime's own accounting.
+//
+// With Options.Metrics nil (the default) rt.met is nil and every hook
+// collapses to one branch with zero allocations, the same contract the
+// trace layer keeps.
+
+// Metric names. One namespace ("northup_"), stable across PRs: the
+// committed perf baseline keys on these strings.
+const (
+	mBusyNS       = "northup_busy_ns_total"
+	mSpans        = "northup_spans_total"
+	mSpanNS       = "northup_span_ns"
+	mMovedBytes   = "northup_moved_bytes_total"
+	mBWUtil       = "northup_node_bw_utilization"
+	mCacheHitRate = "northup_cache_hit_rate"
+	mQueueDepth   = "northup_queue_depth"
+	mQueuePops    = "northup_queue_pops_total"
+	mQueueSteals  = "northup_queue_steals_total"
+	mTraceDropped = "northup_trace_dropped_events"
+	mElapsedNS    = "northup_elapsed_ns"
+)
+
+// spanNSBuckets are the fixed span-duration histogram bounds in
+// nanoseconds: 1µs to 10s in decades. Fixed bounds keep cluster rollup
+// associative (obs.Histogram's merge contract).
+var spanNSBuckets = []int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+
+// runtimeMetrics holds the registry handles the runtime's hot paths write
+// through. All handles are resolved once at construction; per-node handles
+// are resolved lazily on first use and memoised.
+type runtimeMetrics struct {
+	reg     *obs.Registry
+	sampler *obs.Sampler
+
+	// Per-category instruments, indexed by trace.Category.
+	busy   []*obs.Counter
+	spans  []*obs.Counter
+	spanNS []*obs.Histogram
+
+	// Per-node traffic, lazily resolved: moved bytes and the derived
+	// bandwidth-utilization gauge (cumulative bytes / elapsed × nominal BW).
+	movedBytes map[int]*obs.Counter
+	bwUtil     map[int]*obs.Gauge
+	nominalBW  map[int]float64 // node -> nominal read bandwidth, bytes/s
+
+	// Cache counters, synced from the Breakdown's CacheStats.
+	cacheHits, cacheMisses, cacheEvictions, cachePrefetches,
+	cachePrefetchHits, cacheBypasses, cacheInvalidations,
+	cacheHitBytes, cacheMissBytes *obs.Counter
+	cacheHitRate *obs.Gauge
+
+	// Resilience counters, synced from ResilienceStats.
+	resFaults, resRetries, resTimeouts, resFailovers, resGaveUp *obs.Counter
+
+	// Injector counters, synced from fault.Injector.Stats.
+	faultTransferFails, faultTransferDelays, faultAllocFails,
+	faultOfflineRejects *obs.Counter
+
+	// Scheduler instruments: per-node queue-depth gauges (lazy) plus pop
+	// and steal totals, driven by the Note helpers from leaf schedulers.
+	queueDepth map[int]*obs.Gauge
+	queuePops  *obs.Counter
+	queueSteal *obs.Counter
+
+	traceDropped *obs.Gauge
+	elapsed      *obs.Gauge
+}
+
+// newRuntimeMetrics registers the runtime's instruments in reg and returns
+// the handle set. sampler may be nil (no time series).
+func newRuntimeMetrics(rt *Runtime, reg *obs.Registry, sampler *obs.Sampler) *runtimeMetrics {
+	m := &runtimeMetrics{reg: reg, sampler: sampler,
+		busy:       make([]*obs.Counter, len(trace.Categories)),
+		spans:      make([]*obs.Counter, len(trace.Categories)),
+		spanNS:     make([]*obs.Histogram, len(trace.Categories)),
+		movedBytes: map[int]*obs.Counter{},
+		bwUtil:     map[int]*obs.Gauge{},
+		nominalBW:  map[int]float64{},
+		queueDepth: map[int]*obs.Gauge{},
+	}
+	for _, c := range trace.Categories {
+		lbl := obs.L("cat", c.String())
+		m.busy[c] = reg.Counter(mBusyNS, "virtual busy time per execution category", lbl)
+		m.spans[c] = reg.Counter(mSpans, "completed spans per execution category", lbl)
+		m.spanNS[c] = reg.Histogram(mSpanNS, "span duration distribution", spanNSBuckets, lbl)
+	}
+	for _, n := range rt.tree.Nodes() {
+		if n.Mem != nil {
+			m.nominalBW[n.ID] = n.Mem.Profile().ReadBW
+		}
+	}
+	m.cacheHits = reg.Counter("northup_cache_hits_total", "staging-cache fetches served from a resident buffer")
+	m.cacheMisses = reg.Counter("northup_cache_misses_total", "staging-cache fetches that crossed the edge")
+	m.cacheEvictions = reg.Counter("northup_cache_evictions_total", "staging-cache entries evicted")
+	m.cachePrefetches = reg.Counter("northup_cache_prefetches_total", "lookahead fetches issued")
+	m.cachePrefetchHits = reg.Counter("northup_cache_prefetch_hits_total", "prefetched entries that served a demand fetch")
+	m.cacheBypasses = reg.Counter("northup_cache_bypasses_total", "cached fetches that fell back to a plain move")
+	m.cacheInvalidations = reg.Counter("northup_cache_invalidations_total", "entries dropped after their source was overwritten")
+	m.cacheHitBytes = reg.Counter("northup_cache_hit_bytes_total", "bytes served from resident buffers")
+	m.cacheMissBytes = reg.Counter("northup_cache_miss_bytes_total", "bytes fetched across the edge")
+	m.cacheHitRate = reg.Gauge(mCacheHitRate, "hits / (hits + misses)")
+
+	m.resFaults = reg.Counter("northup_faults_total", "transient failures observed before retrying")
+	m.resRetries = reg.Counter("northup_retries_total", "re-attempts made")
+	m.resTimeouts = reg.Counter("northup_timeouts_total", "operations that exceeded the per-op deadline")
+	m.resFailovers = reg.Counter("northup_failovers_total", "leaf tasks re-routed to a sibling processor")
+	m.resGaveUp = reg.Counter("northup_gave_up_total", "operations that exhausted retries")
+
+	m.faultTransferFails = reg.Counter("northup_fault_transfer_fails_total", "transfers failed outright by the injector")
+	m.faultTransferDelays = reg.Counter("northup_fault_transfer_delays_total", "transfers stalled by the injector")
+	m.faultAllocFails = reg.Counter("northup_fault_alloc_fails_total", "allocations transiently refused by the injector")
+	m.faultOfflineRejects = reg.Counter("northup_fault_offline_rejects_total", "operations refused inside an outage window")
+
+	m.queuePops = reg.Counter(mQueuePops, "local deque pops across leaf schedulers")
+	m.queueSteal = reg.Counter(mQueueSteals, "work-steal operations across leaf schedulers")
+
+	m.traceDropped = reg.Gauge(mTraceDropped, "events the bounded trace ring dropped")
+	m.elapsed = reg.Gauge(mElapsedNS, "virtual time at the last metrics sync")
+	return m
+}
+
+// nodeLabel renders a node-ID label. Node counts are small and stable, so
+// the handle maps memoise away the strconv after first use.
+func nodeLabel(node int) obs.Label { return obs.L("node", strconv.Itoa(node)) }
+
+// noteSpan is chargeSpan's metrics half: the identical duration the
+// Breakdown received, plus span count, duration histogram, and — for data
+// movement — per-node byte totals.
+func (m *runtimeMetrics) noteSpan(lane trace.Lane, cat trace.Category, start, end sim.Time, value int64) {
+	if cat < 0 || int(cat) >= len(m.busy) {
+		return
+	}
+	d := int64(end - start)
+	m.busy[cat].Add(d)
+	m.spans[cat].Inc()
+	m.spanNS[cat].Observe(d)
+	if (cat == trace.Transfer || cat == trace.IO) && value > 0 && lane.Node >= 0 {
+		c, ok := m.movedBytes[lane.Node]
+		if !ok {
+			c = m.reg.Counter(mMovedBytes, "bytes moved into each node", nodeLabel(lane.Node))
+			m.movedBytes[lane.Node] = c
+		}
+		c.Add(value)
+	}
+}
+
+// MetricsEnabled reports whether a registry is attached.
+func (rt *Runtime) MetricsEnabled() bool { return rt.met != nil }
+
+// Metrics returns the runtime's registry, nil when metrics are off.
+func (rt *Runtime) Metrics() *obs.Registry {
+	if rt.met == nil {
+		return nil
+	}
+	return rt.met.reg
+}
+
+// MetricsSampler returns the attached sampler (nil without one).
+func (rt *Runtime) MetricsSampler() *obs.Sampler {
+	if rt.met == nil {
+		return nil
+	}
+	return rt.met.sampler
+}
+
+// maybeSample advances the sampler when a tick boundary has passed: gauges
+// are refreshed by a sync first so the sampled values are current. Called
+// from charge points; one comparison when no sampler is due.
+func (rt *Runtime) maybeSample(now sim.Time) {
+	if rt.met.sampler.Due(now) {
+		rt.syncMetrics(now)
+		rt.met.sampler.Observe(now)
+	}
+}
+
+// SyncMetrics mirrors every scattered stat source into the registry at the
+// current virtual time. Exports should call it (Run does, at completion)
+// before reading the registry; it is idempotent.
+func (rt *Runtime) SyncMetrics() {
+	if rt.met == nil {
+		return
+	}
+	rt.syncMetrics(rt.engine.Now())
+}
+
+// syncMetrics raises counters to their sources' cumulative totals and
+// recomputes derived gauges. rt.met must be non-nil.
+func (rt *Runtime) syncMetrics(now sim.Time) {
+	m := rt.met
+
+	cs := rt.bd.Cache()
+	m.cacheHits.SyncTo(cs.Hits)
+	m.cacheMisses.SyncTo(cs.Misses)
+	m.cacheEvictions.SyncTo(cs.Evictions)
+	m.cachePrefetches.SyncTo(cs.Prefetches)
+	m.cachePrefetchHits.SyncTo(cs.PrefetchHits)
+	m.cacheBypasses.SyncTo(cs.Bypasses)
+	m.cacheInvalidations.SyncTo(cs.Invalidations)
+	m.cacheHitBytes.SyncTo(cs.HitBytes)
+	m.cacheMissBytes.SyncTo(cs.MissBytes)
+	m.cacheHitRate.Set(cs.HitRate())
+
+	m.resFaults.SyncTo(rt.res.Faults)
+	m.resRetries.SyncTo(rt.res.Retries)
+	m.resTimeouts.SyncTo(rt.res.Timeouts)
+	m.resFailovers.SyncTo(rt.res.Failovers)
+	m.resGaveUp.SyncTo(rt.res.GaveUp)
+
+	if inj := rt.opts.Faults; inj != nil {
+		fs := inj.Stats()
+		m.faultTransferFails.SyncTo(fs.TransferFails)
+		m.faultTransferDelays.SyncTo(fs.TransferDelays)
+		m.faultAllocFails.SyncTo(fs.AllocFails)
+		m.faultOfflineRejects.SyncTo(fs.OfflineRejects)
+	}
+
+	if rt.rec != nil {
+		m.traceDropped.Set(float64(rt.rec.Dropped()))
+	}
+	m.elapsed.Set(float64(now))
+
+	// Bandwidth utilization: cumulative bytes into the node over what its
+	// device could nominally have read in the elapsed time. A coarse
+	// full-run average, like the trace summary's achieved-vs-nominal column.
+	if now > 0 {
+		sec := float64(now) / 1e9
+		for node, c := range m.movedBytes {
+			g, ok := m.bwUtil[node]
+			if !ok {
+				g = m.reg.Gauge(mBWUtil, "moved bytes over nominal read bandwidth x elapsed", nodeLabel(node))
+				m.bwUtil[node] = g
+			}
+			if bw := m.nominalBW[node]; bw > 0 {
+				g.Set(float64(c.Value()) / (sec * bw))
+			}
+		}
+	}
+}
+
+// NoteQueueDepth publishes a leaf scheduler's queue depth for node as a
+// gauge (the sampler's subject). No-op without metrics.
+func (rt *Runtime) NoteQueueDepth(node int, depth int64) {
+	if rt.met == nil {
+		return
+	}
+	g, ok := rt.met.queueDepth[node]
+	if !ok {
+		g = rt.met.reg.Gauge(mQueueDepth, "work-queue depth per leaf scheduler", nodeLabel(node))
+		rt.met.queueDepth[node] = g
+	}
+	g.Set(float64(depth))
+	rt.maybeSample(rt.engine.Now())
+}
+
+// NotePops adds to the pop total (leaf schedulers report their deque
+// counts). No-op without metrics.
+func (rt *Runtime) NotePops(n int64) {
+	if rt.met != nil {
+		rt.met.queuePops.Add(n)
+	}
+}
+
+// NoteSteals adds to the steal total. No-op without metrics.
+func (rt *Runtime) NoteSteals(n int64) {
+	if rt.met != nil {
+		rt.met.queueSteal.Add(n)
+	}
+}

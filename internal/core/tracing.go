@@ -93,12 +93,19 @@ func (rt *Runtime) emitCounter(lane trace.Lane, name string, t sim.Time, value i
 }
 
 // chargeSpan is the single charge point pairing Breakdown accounting with
-// span emission: d = end-start goes to the category, and — only when
-// tracing is active — the same interval becomes a span on lane.
+// span emission and metrics: d = end-start goes to the category; when
+// tracing is active the same interval becomes a span on lane; when metrics
+// are on the identical duration feeds the registry's busy counter and span
+// histogram (metrics.go) — one code path, so all three accountings agree
+// bit for bit.
 func (rt *Runtime) chargeSpan(lane trace.Lane, cat trace.Category, name string, start, end sim.Time, value int64) {
 	rt.bd.Add(cat, end-start)
 	if rt.traceActive() {
 		rt.emitSpan(lane, cat, name, start, end, value)
+	}
+	if rt.met != nil {
+		rt.met.noteSpan(lane, cat, start, end, value)
+		rt.maybeSample(end)
 	}
 }
 

@@ -1,0 +1,164 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// perfProfile runs the suite once per test binary; the suite is pure so
+// sharing it across tests is safe.
+func perfProfile(t *testing.T) *PerfProfile {
+	t.Helper()
+	p, err := PerfSuite(Options{Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPerfSuiteShape checks the profile covers all three apps with real
+// virtual time and a populated metric map.
+func TestPerfSuiteShape(t *testing.T) {
+	p := perfProfile(t)
+	if len(p.Apps) != len(Apps) {
+		t.Fatalf("profile has %d apps, want %d", len(p.Apps), len(Apps))
+	}
+	for _, a := range p.Apps {
+		if a.ElapsedNS <= 0 {
+			t.Errorf("%s: elapsed %d, want > 0", a.Name, a.ElapsedNS)
+		}
+		if len(a.Metrics) == 0 {
+			t.Errorf("%s: empty metric map", a.Name)
+		}
+		if a.Metrics[`northup_busy_ns_total{cat="gpu"}`] <= 0 {
+			t.Errorf("%s: no GPU busy time in metrics", a.Name)
+		}
+	}
+}
+
+// TestPerfRoundTrip checks the baseline document survives JSON and the
+// re-parsed baseline checks clean against the original run.
+func TestPerfRoundTrip(t *testing.T) {
+	p := perfProfile(t)
+	back, err := ParsePerfProfile([]byte(p.JSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scale != p.Scale {
+		t.Fatalf("scale %d after round trip, want %d", back.Scale, p.Scale)
+	}
+	if c := back.Check(p); !c.OK() {
+		t.Fatalf("round-tripped baseline fails against its own run:\n%s", c.Report())
+	}
+}
+
+// TestPerfCheckDeterministic is the gate's soundness half: re-running the
+// suite reproduces the baseline exactly, so -check passes on an unchanged
+// tree.
+func TestPerfCheckDeterministic(t *testing.T) {
+	base := perfProfile(t)
+	again, err := PerfSuite(Options{Scale: base.Scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := base.Check(again)
+	if !c.OK() {
+		t.Fatalf("identical rerun flagged as regression:\n%s", c.Report())
+	}
+	if c.Compared == 0 {
+		t.Fatal("check compared no metrics")
+	}
+	if base.JSON() != again.JSON() {
+		t.Fatal("two identical suite runs produced different baseline documents")
+	}
+}
+
+// TestPerfCheckCatchesSlowdown is the gate's completeness half (the
+// acceptance criterion): a ≥10% injected slowdown must fail the check.
+func TestPerfCheckCatchesSlowdown(t *testing.T) {
+	base := perfProfile(t)
+	slow, err := ParsePerfProfile([]byte(base.JSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range slow.Apps {
+		slow.Apps[i].ElapsedNS = slow.Apps[i].ElapsedNS * 11 / 10
+		for name, v := range slow.Apps[i].Metrics {
+			if strings.Contains(name, "_ns") {
+				slow.Apps[i].Metrics[name] = v * 1.1
+			}
+		}
+	}
+	c := base.Check(slow)
+	if c.OK() {
+		t.Fatal("10% slowdown passed the perf check")
+	}
+	found := false
+	for _, d := range c.Failures {
+		if d.Metric == "elapsed_ns" && d.slower() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("slowdown failures omit elapsed_ns:\n%s", c.Report())
+	}
+	if !strings.Contains(c.Report(), "FAIL") {
+		t.Fatal("report of a failing check has no FAIL lines")
+	}
+}
+
+// TestPerfCheckMissingMetric checks a metric that disappears from the run
+// (renamed instrument) fails the gate rather than passing silently.
+func TestPerfCheckMissingMetric(t *testing.T) {
+	base := perfProfile(t)
+	run, err := ParsePerfProfile([]byte(base.JSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(run.Apps[0].Metrics, `northup_busy_ns_total{cat="gpu"}`)
+	if c := base.Check(run); c.OK() {
+		t.Fatal("missing baseline metric passed the check")
+	}
+}
+
+// TestPerfTolerances checks per-metric overrides: widening the tolerance
+// on the perturbed metrics turns the failing check into a pass, and prefix
+// entries resolve with longest-match-wins.
+func TestPerfTolerances(t *testing.T) {
+	base := perfProfile(t)
+	run, err := ParsePerfProfile([]byte(base.JSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Apps[0].ElapsedNS = run.Apps[0].ElapsedNS * 108 / 100
+	if c := base.Check(run); c.OK() {
+		t.Fatal("8% slowdown passed at the default 5% tolerance")
+	}
+	base.Tolerances = map[string]float64{"elapsed_ns": 0.15}
+	if c := base.Check(run); !c.OK() {
+		t.Fatalf("8%% slowdown failed despite a 15%% override:\n%s", c.Report())
+	}
+	// Prefix resolution: a broad prefix loosens, a longer exact-ish prefix
+	// tightens again.
+	if got := base.tolFor("northup_cache_hits_total"); got != perfRelTol {
+		t.Fatalf("unrelated metric tolerance %v, want default %v", got, perfRelTol)
+	}
+	base.Tolerances["northup_cache_"] = 0.5
+	base.Tolerances["northup_cache_hits_"] = 0.2
+	if got := base.tolFor("northup_cache_hits_total"); got != 0.2 {
+		t.Fatalf("longest-prefix tolerance %v, want 0.2", got)
+	}
+	if got := base.tolFor("northup_cache_misses_total"); got != 0.5 {
+		t.Fatalf("prefix tolerance %v, want 0.5", got)
+	}
+}
+
+// TestPerfParseRejectsBadSchema guards the baseline format version.
+func TestPerfParseRejectsBadSchema(t *testing.T) {
+	if _, err := ParsePerfProfile([]byte(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := ParsePerfProfile([]byte(`{nope`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format. The output is deterministic byte for byte: families are sorted by
+// name, label sets within a family are sorted, and every value is formatted
+// without map-order or float-noise dependence, so two identical runs
+// produce identical files (asserted by the determinism tests).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Group full names by family, in sorted family order.
+	byFam := map[string][]string{}
+	for _, full := range r.sorted() {
+		m := r.metrics[full]
+		byFam[m.family] = append(byFam[m.family], full)
+	}
+	famNames := make([]string, 0, len(byFam))
+	for name := range byFam {
+		famNames = append(famNames, name)
+	}
+	sort.Strings(famNames)
+
+	var sb strings.Builder
+	for _, name := range famNames {
+		fam := r.fams[name]
+		if fam.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", name, fam.help)
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", name, fam.kind)
+		for _, full := range byFam[name] {
+			m := r.metrics[full]
+			switch m.kind {
+			case KindCounter:
+				fmt.Fprintf(&sb, "%s %d\n", full, m.c.Value())
+			case KindGauge:
+				fmt.Fprintf(&sb, "%s %s\n", full, formatValue(m.g.Value()))
+			case KindHistogram:
+				cum := int64(0)
+				for i, b := range m.h.bounds {
+					cum += m.h.counts[i]
+					fmt.Fprintf(&sb, "%s %d\n", histName(full, "_bucket", fmt.Sprintf("%d", b)), cum)
+				}
+				cum += m.h.counts[len(m.h.bounds)]
+				fmt.Fprintf(&sb, "%s %d\n", histName(full, "_bucket", "+Inf"), cum)
+				fmt.Fprintf(&sb, "%s %d\n", histName(full, "_sum", ""), m.h.sum)
+				fmt.Fprintf(&sb, "%s %d\n", histName(full, "_count", ""), m.h.n)
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// JSONMetric is one entry of the JSON export: a flattened scalar with its
+// owning instrument's kind.
+type JSONMetric struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`
+}
+
+// JSONExport is the document WriteJSON produces: the flattened snapshot
+// plus any sampled time series.
+type JSONExport struct {
+	Schema  string       `json:"schema"`
+	Metrics []JSONMetric `json:"metrics"`
+	Series  []Series     `json:"series,omitempty"`
+}
+
+// jsonSchema versions the export document.
+const jsonSchema = "northup-metrics/v1"
+
+// Export builds the JSON document from the registry's snapshot and an
+// optional sampler's series (nil sampler contributes none).
+func (r *Registry) Export(s *Sampler) *JSONExport {
+	pts := r.Snapshot()
+	doc := &JSONExport{Schema: jsonSchema, Metrics: make([]JSONMetric, 0, len(pts))}
+	for _, p := range pts {
+		doc.Metrics = append(doc.Metrics, JSONMetric{Name: p.Name, Kind: p.Kind.String(), Value: p.Value})
+	}
+	doc.Series = s.Series()
+	return doc
+}
+
+// WriteJSON writes the registry (and optional sampler series) as indented
+// JSON, deterministically: metrics are in snapshot (sorted-name) order and
+// series in gauge-name order.
+func (r *Registry) WriteJSON(w io.Writer, s *Sampler) error {
+	data, err := json.MarshalIndent(r.Export(s), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// populate fills a registry with one instrument of each kind, labelled and
+// bare, using interleaved registration order to exercise sorting.
+func populate(r *Registry) {
+	r.Counter("z_total", "a total", L("node", "1")).Add(5)
+	r.Gauge("depth", "queue depth", L("node", "0")).Set(3)
+	r.Histogram("span_ns", "span durations", []int64{10, 100, 1000}).Observe(7)
+	r.Histogram("span_ns", "span durations", []int64{10, 100, 1000}).Observe(500)
+	r.Counter("a_total", "another total").Add(2)
+	r.Counter("z_total", "a total", L("node", "0")).Add(9)
+	r.Gauge("rate", "a ratio").Set(0.375)
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "x", L("a", "1"), L("b", "2"))
+	c2 := r.Counter("x_total", "x", L("b", "2"), L("a", "1")) // label order irrelevant
+	if c1 != c2 {
+		t.Fatal("same name+labels resolved to different counters")
+	}
+	c1.Add(3)
+	if c2.Value() != 3 {
+		t.Fatalf("aliased counter reads %d, want 3", c2.Value())
+	}
+	if r.Len() != 1 {
+		t.Fatalf("registry holds %d metrics, want 1", r.Len())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "m")
+}
+
+func TestHistogramBucketMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", "h", []int64{1, 2, 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with different buckets did not panic")
+		}
+	}()
+	r.Histogram("h", "h", []int64{1, 2, 4})
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "c")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter delta did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+// TestExportDeterminism builds the same registry twice with different
+// registration order and asserts byte-identical Prometheus and JSON
+// output — the property the committed baseline depends on.
+func TestExportDeterminism(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	populate(a)
+	// Same content, different registration order.
+	b.Gauge("rate", "a ratio").Set(0.375)
+	b.Gauge("depth", "queue depth", L("node", "0")).Set(3)
+	b.Counter("a_total", "another total").Add(2)
+	b.Counter("z_total", "a total", L("node", "0")).Add(9)
+	b.Histogram("span_ns", "span durations", []int64{10, 100, 1000}).Observe(500)
+	b.Histogram("span_ns", "span durations", []int64{10, 100, 1000}).Observe(7)
+	b.Counter("z_total", "a total", L("node", "1")).Add(5)
+
+	var pa, pb, ja, jb bytes.Buffer
+	if err := a.WritePrometheus(&pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WritePrometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if pa.String() != pb.String() {
+		t.Fatalf("Prometheus exports differ:\n--- a ---\n%s--- b ---\n%s", pa.String(), pb.String())
+	}
+	if err := a.WriteJSON(&ja, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&jb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Fatalf("JSON exports differ:\n--- a ---\n%s--- b ---\n%s", ja.String(), jb.String())
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	populate(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE a_total counter",
+		"a_total 2",
+		"# TYPE depth gauge",
+		`depth{node="0"} 3`,
+		"rate 0.375",
+		"# TYPE span_ns histogram",
+		`span_ns_bucket{le="10"} 1`,
+		`span_ns_bucket{le="100"} 1`,
+		`span_ns_bucket{le="1000"} 2`,
+		`span_ns_bucket{le="+Inf"} 2`,
+		"span_ns_sum 507",
+		"span_ns_count 2",
+		`z_total{node="0"} 9`,
+		`z_total{node="1"} 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+	// Families must appear in sorted order.
+	ia, iz := strings.Index(out, "# TYPE a_total"), strings.Index(out, "# TYPE z_total")
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Fatalf("family order wrong:\n%s", out)
+	}
+}
+
+func TestHistogramLabelledBucketNames(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h_ns", "h", []int64{50}, L("cat", "xfer")).Observe(10)
+	flat := r.Flatten()
+	for _, want := range []string{
+		`h_ns_bucket{cat="xfer",le="50"}`,
+		`h_ns_bucket{cat="xfer",le="+Inf"}`,
+		`h_ns_sum{cat="xfer"}`,
+		`h_ns_count{cat="xfer"}`,
+	} {
+		if _, ok := flat[want]; !ok {
+			t.Errorf("flatten missing %q; have %v", want, flat)
+		}
+	}
+}
+
+// TestMergeAssociative merges three registries in every order and asserts
+// byte-identical exports: the cluster rollup must not depend on machine
+// enumeration order.
+func TestMergeAssociative(t *testing.T) {
+	build := func(seed int64) *Registry {
+		r := NewRegistry()
+		r.Counter("moved_bytes_total", "bytes", L("node", "2")).Add(100 * seed)
+		r.Counter("moved_bytes_total", "bytes", L("node", "3")).Add(10 + seed)
+		h := r.Histogram("span_ns", "spans", []int64{100, 10000})
+		h.Observe(seed * 90)
+		h.Observe(seed * 9000)
+		r.Gauge("depth", "depth").Set(float64(seed))
+		return r
+	}
+	exportOf := func(order []int64) string {
+		merged := NewRegistry()
+		for _, seed := range order {
+			merged.Merge(build(seed))
+		}
+		var buf bytes.Buffer
+		if err := merged.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	ref := exportOf([]int64{1, 2, 3})
+	for _, order := range [][]int64{{1, 3, 2}, {2, 1, 3}, {2, 3, 1}, {3, 1, 2}, {3, 2, 1}} {
+		if got := exportOf(order); got != ref {
+			t.Fatalf("merge order %v changed the export:\n--- ref ---\n%s--- got ---\n%s", order, ref, got)
+		}
+	}
+	// Spot-check the merged values.
+	merged := NewRegistry()
+	for _, seed := range []int64{1, 2, 3} {
+		merged.Merge(build(seed))
+	}
+	flat := merged.Flatten()
+	if got := flat[`moved_bytes_total{node="2"}`]; got != 600 {
+		t.Fatalf("merged counter = %v, want 600", got)
+	}
+	if got := flat["depth"]; got != 6 {
+		t.Fatalf("merged gauge = %v, want 6", got)
+	}
+	if got := flat["span_ns_count"]; got != 6 {
+		t.Fatalf("merged histogram count = %v, want 6", got)
+	}
+}
+
+func TestMergeIntoEmptyEqualsCopy(t *testing.T) {
+	src := NewRegistry()
+	populate(src)
+	dst := NewRegistry()
+	dst.Merge(src)
+	var a, b bytes.Buffer
+	if err := src.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("merge into empty differs from source:\n--- src ---\n%s--- dst ---\n%s", a.String(), b.String())
+	}
+}
+
+func TestSnapshotHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "h", []int64{10, 20, 30})
+	for _, v := range []int64{5, 15, 15, 25, 99} {
+		h.Observe(v)
+	}
+	flat := r.Flatten()
+	if flat[`h_bucket{le="10"}`] != 1 || flat[`h_bucket{le="20"}`] != 3 ||
+		flat[`h_bucket{le="30"}`] != 4 || flat[`h_bucket{le="+Inf"}`] != 5 {
+		t.Fatalf("cumulative buckets wrong: %v", flat)
+	}
+	if flat["h_sum"] != 159 || flat["h_count"] != 5 {
+		t.Fatalf("sum/count wrong: %v", flat)
+	}
+}

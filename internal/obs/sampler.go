@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// DefaultMaxPoints bounds every sampled series; past it the sampler
+// coarsens (thins each series and doubles its tick) instead of growing.
+const DefaultMaxPoints = 1024
+
+// SamplerOptions configures a virtual-time sampler.
+type SamplerOptions struct {
+	// Tick is the sampling period in virtual time. Zero disables the
+	// sampler (NewSampler returns nil), which is the zero-alloc default.
+	Tick sim.Time
+	// MaxPoints caps each series' length; 0 means DefaultMaxPoints. When a
+	// series would exceed the cap the sampler drops every other point and
+	// doubles the tick, keeping memory bounded and the series deterministic
+	// regardless of run length.
+	MaxPoints int
+}
+
+// SamplePoint is one (virtual time, value) observation of a gauge.
+type SamplePoint struct {
+	T sim.Time `json:"t_ns"`
+	V float64  `json:"v"`
+}
+
+// Series is the sampled history of one gauge.
+type Series struct {
+	Name   string        `json:"name"`
+	Points []SamplePoint `json:"points"`
+}
+
+// Sampler snapshots every gauge in a registry at a fixed virtual-time tick,
+// producing deterministic time series: the "continuous" half of the
+// observability layer, giving queue depth, hit rate and bandwidth
+// utilization as functions of virtual time rather than end-of-run totals.
+//
+// The runtime drives it from charge points: Due(now) is the cheap inline
+// check, Observe(now) records one point per gauge at each elapsed tick
+// boundary. Because virtual time only advances inside the single simulation
+// goroutine, the sampler needs no locking; because ticks are aligned to
+// multiples of Tick, two identical runs sample at identical instants.
+type Sampler struct {
+	reg       *Registry
+	tick      sim.Time
+	maxPoints int
+	next      sim.Time            // next tick boundary to record
+	series    map[string][]SamplePoint
+}
+
+// NewSampler attaches a sampler to a registry. A zero tick returns nil: a
+// nil *Sampler is the disabled state and is safe to pass around.
+func NewSampler(reg *Registry, opts SamplerOptions) *Sampler {
+	if opts.Tick <= 0 {
+		return nil
+	}
+	mp := opts.MaxPoints
+	if mp <= 0 {
+		mp = DefaultMaxPoints
+	}
+	return &Sampler{reg: reg, tick: opts.Tick, maxPoints: mp,
+		next: 0, series: map[string][]SamplePoint{}}
+}
+
+// Due reports whether now has reached the next tick boundary. Nil-safe and
+// allocation-free: the disabled path is one comparison.
+func (s *Sampler) Due(now sim.Time) bool {
+	return s != nil && now >= s.next
+}
+
+// Observe records one point per gauge for every tick boundary elapsed up
+// to now. Call after updating the gauges for the current instant; the
+// runtime does this from its charge points whenever Due reports true.
+func (s *Sampler) Observe(now sim.Time) {
+	if s == nil {
+		return
+	}
+	for now >= s.next {
+		t := s.next
+		s.reg.sorted() // refresh the gauge list
+		over := false
+		for _, m := range s.reg.gauges {
+			pts := append(s.series[m.full], SamplePoint{T: t, V: m.g.Value()})
+			s.series[m.full] = pts
+			over = over || len(pts) > s.maxPoints
+		}
+		if over {
+			// Coarsen every series together so they stay aligned: keep
+			// even-indexed points and double the tick once per overflow.
+			for name, pts := range s.series {
+				s.series[name] = thin(pts)
+			}
+			s.tick *= 2
+		}
+		s.next = t + s.tick
+	}
+}
+
+// thin halves a series by keeping even-indexed points, preserving the
+// first sample and the overall shape at twice the spacing.
+func thin(pts []SamplePoint) []SamplePoint {
+	out := pts[:0]
+	for i := 0; i < len(pts); i += 2 {
+		out = append(out, pts[i])
+	}
+	return out
+}
+
+// Tick returns the current sampling period (it grows when series coarsen).
+func (s *Sampler) Tick() sim.Time {
+	if s == nil {
+		return 0
+	}
+	return s.tick
+}
+
+// Series returns every sampled series sorted by gauge name, points in
+// virtual-time order. Nil-safe: a disabled sampler has no series.
+func (s *Sampler) Series() []Series {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.series))
+	for name := range s.series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Series, 0, len(names))
+	for _, name := range names {
+		out = append(out, Series{Name: name,
+			Points: append([]SamplePoint(nil), s.series[name]...)})
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSamplerDisabledNil(t *testing.T) {
+	var s *Sampler
+	if s.Due(100) {
+		t.Fatal("nil sampler reported due")
+	}
+	s.Observe(100) // must not panic
+	if s.Series() != nil {
+		t.Fatal("nil sampler has series")
+	}
+	if NewSampler(NewRegistry(), SamplerOptions{Tick: 0}) != nil {
+		t.Fatal("zero tick did not disable the sampler")
+	}
+}
+
+// TestSamplerDisabledZeroAlloc is the acceptance criterion: the disabled
+// sampler path (the one every untraced charge takes) allocates nothing.
+func TestSamplerDisabledZeroAlloc(t *testing.T) {
+	var s *Sampler
+	allocs := testing.AllocsPerRun(200, func() {
+		if s.Due(12345) {
+			s.Observe(12345)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled sampler allocated %.1f times per check", allocs)
+	}
+}
+
+func TestSamplerTickSeries(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "queue depth")
+	s := NewSampler(r, SamplerOptions{Tick: 100})
+	// Gauge changes between observations; points must land on boundaries.
+	g.Set(1)
+	if !s.Due(0) {
+		t.Fatal("sampler not due at t=0")
+	}
+	s.Observe(0) // records t=0
+	if s.Due(99) {
+		t.Fatal("due before the next boundary")
+	}
+	g.Set(2)
+	s.Observe(250) // records t=100 and t=200 with the current value
+	g.Set(7)
+	s.Observe(300) // records t=300
+	series := s.Series()
+	if len(series) != 1 || series[0].Name != "depth" {
+		t.Fatalf("series = %+v", series)
+	}
+	want := []SamplePoint{{0, 1}, {100, 2}, {200, 2}, {300, 7}}
+	if len(series[0].Points) != len(want) {
+		t.Fatalf("points = %+v, want %+v", series[0].Points, want)
+	}
+	for i, p := range series[0].Points {
+		if p != want[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, p, want[i])
+		}
+	}
+}
+
+// TestSamplerCoarsens drives a sampler past MaxPoints and checks it thins
+// and doubles the tick instead of growing without bound.
+func TestSamplerCoarsens(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "queue depth")
+	s := NewSampler(r, SamplerOptions{Tick: 10, MaxPoints: 8})
+	for now := sim.Time(0); now <= 1000; now += 10 {
+		g.Set(float64(now))
+		if s.Due(now) {
+			s.Observe(now)
+		}
+	}
+	series := s.Series()
+	if len(series) != 1 {
+		t.Fatalf("series = %+v", series)
+	}
+	pts := series[0].Points
+	if len(pts) > 8 {
+		t.Fatalf("series grew to %d points despite MaxPoints=8", len(pts))
+	}
+	if s.Tick() <= 10 {
+		t.Fatalf("tick did not coarsen: %v", s.Tick())
+	}
+	if pts[0].T != 0 {
+		t.Fatalf("thinning lost the first sample: %+v", pts[0])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T <= pts[i-1].T {
+			t.Fatalf("points out of order: %+v", pts)
+		}
+	}
+}
+
+// TestSamplerDeterministic runs the same schedule twice and wants
+// identical series — the property that lets sampled series live in the
+// committed metrics artifacts.
+func TestSamplerDeterministic(t *testing.T) {
+	run := func() []Series {
+		r := NewRegistry()
+		g := r.Gauge("depth", "queue depth")
+		h := r.Gauge("rate", "hit rate")
+		s := NewSampler(r, SamplerOptions{Tick: 7, MaxPoints: 16})
+		for now := sim.Time(0); now < 2000; now += 13 {
+			g.Set(float64(now % 31))
+			h.Set(float64(now%17) / 17)
+			if s.Due(now) {
+				s.Observe(now)
+			}
+		}
+		return s.Series()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("series counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Points) != len(b[i].Points) {
+			t.Fatalf("series %d differ: %+v vs %+v", i, a[i], b[i])
+		}
+		for j := range a[i].Points {
+			if a[i].Points[j] != b[i].Points[j] {
+				t.Fatalf("series %s point %d: %+v vs %+v", a[i].Name, j, a[i].Points[j], b[i].Points[j])
+			}
+		}
+	}
+}

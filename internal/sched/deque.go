@@ -23,9 +23,11 @@ type Deque[T any] struct {
 	steals int64
 	pops   int64
 
-	// OnPop and OnSteal, when set, observe every successful PopTail and
-	// StealHead — the hook tracing uses to timestamp queue activity. Nil
-	// (the default) costs one branch.
+	// OnPush, OnPop and OnSteal, when set, observe every PushTail and every
+	// successful PopTail and StealHead — the hooks tracing and metrics use
+	// to timestamp queue activity and maintain live depth gauges. Nil (the
+	// default) costs one branch.
+	OnPush  func()
 	OnPop   func()
 	OnSteal func()
 }
@@ -63,6 +65,9 @@ func (d *Deque[T]) PushTail(t T) {
 	d.buf[d.tail] = t
 	d.tail = (d.tail + 1) % len(d.buf)
 	d.n++
+	if d.OnPush != nil {
+		d.OnPush()
+	}
 }
 
 // PopTail removes the newest task; the owner's fast path.

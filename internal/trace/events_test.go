@@ -359,3 +359,48 @@ func TestLaneString(t *testing.T) {
 		t.Fatalf("runtime lane = %q", got)
 	}
 }
+
+// TestChromeExportDroppedEvents checks the completeness metadata: the drop
+// count round-trips through the file, a clean trace validates, and a trace
+// whose ring overflowed fails validation instead of silently analysing a
+// truncated stream.
+func TestChromeExportDroppedEvents(t *testing.T) {
+	evs := sampleEvents()
+
+	var clean bytes.Buffer
+	if err := WriteChromeTrace(&clean, evs, ChromeExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(clean.String(), `"northup_dropped_events"`) {
+		t.Fatal("export missing the dropped-events metadata")
+	}
+	if err := ValidateChromeTrace(clean.Bytes()); err != nil {
+		t.Fatalf("clean trace failed validation: %v", err)
+	}
+	pt, err := ParseChromeTrace(clean.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Dropped != 0 {
+		t.Fatalf("clean trace parsed with Dropped=%d", pt.Dropped)
+	}
+
+	var lossy bytes.Buffer
+	if err := WriteChromeTrace(&lossy, evs, ChromeExportOptions{DroppedEvents: 42}); err != nil {
+		t.Fatal(err)
+	}
+	pt, err = ParseChromeTrace(lossy.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Dropped != 42 {
+		t.Fatalf("Dropped round-tripped as %d, want 42", pt.Dropped)
+	}
+	err = ValidateChromeTrace(lossy.Bytes())
+	if err == nil {
+		t.Fatal("incomplete trace passed validation")
+	}
+	if !strings.Contains(err.Error(), "dropped 42") {
+		t.Fatalf("validation error does not name the drop count: %v", err)
+	}
+}

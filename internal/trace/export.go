@@ -27,7 +27,18 @@ type ChromeExportOptions struct {
 	// "node1(dram,L1)"). Nil falls back to "node<id>"; NoNode is always
 	// labelled "runtime".
 	NodeLabel func(node int) string
+
+	// DroppedEvents is the recorder's Dropped() count at export time. It is
+	// written into the file as metadata (droppedMetaName) so a saved trace
+	// carries its own completeness: ValidateChromeTrace fails a trace whose
+	// ring overflowed, instead of analyses silently running on a truncated
+	// event stream.
+	DroppedEvents int64
 }
+
+// droppedMetaName is the metadata event name carrying the ring's drop
+// count through the trace file.
+const droppedMetaName = "northup_dropped_events"
 
 // catLabel is the "cat" field of an exported event.
 func catLabel(ev Event) string {
@@ -108,6 +119,12 @@ func WriteChromeTrace(w io.Writer, events []Event, opt ChromeExportOptions) erro
 		first = false
 	}
 
+	// Completeness metadata: always present, so a reader can distinguish
+	// "no drops" from "exporter predates drop accounting".
+	comma()
+	bw.printf(`{"ph":"M","pid":0,"name":%s,"args":{"value":%d}}`,
+		jsonString(droppedMetaName), opt.DroppedEvents)
+
 	// Metadata: process and thread names, in lane order.
 	seenPID := map[int]bool{}
 	for _, l := range ordered {
@@ -180,6 +197,9 @@ type ParsedTrace struct {
 	Events []Event
 	// NodeLabels maps tree node IDs to the exported process names.
 	NodeLabels map[int]string
+	// Dropped is the recorder's drop count carried in the file's metadata
+	// (0 for files written before drop accounting, and for complete traces).
+	Dropped int64
 }
 
 // jsonEvent mirrors one trace_event entry for decoding.
@@ -233,6 +253,10 @@ func ParseChromeTrace(data []byte) (*ParsedTrace, error) {
 				}
 			case "thread_name":
 				threadNames[[2]int{je.PID, je.TID}] = name
+			case droppedMetaName:
+				if rawV, ok := je.Args["value"]; ok {
+					_ = json.Unmarshal(rawV, &pt.Dropped)
+				}
 			}
 		case "X", "i", "I", "C":
 			if je.TS == nil {
@@ -292,8 +316,22 @@ func ValidateChromeTrace(data []byte) error {
 	known := map[string]bool{"M": true, "X": true, "i": true, "I": true, "C": true}
 	threads := map[[2]int]bool{}
 	for _, je := range raw.TraceEvents {
-		if je.Ph == "M" && je.Name == "thread_name" {
+		if je.Ph != "M" {
+			continue
+		}
+		switch je.Name {
+		case "thread_name":
 			threads[[2]int{je.PID, je.TID}] = true
+		case droppedMetaName:
+			// An incomplete trace is an invalid trace: the ring overflowed
+			// and analyses would silently run on a truncated event stream.
+			var dropped int64
+			if rawV, ok := je.Args["value"]; ok {
+				_ = json.Unmarshal(rawV, &dropped)
+			}
+			if dropped > 0 {
+				return fmt.Errorf("trace: incomplete: ring dropped %d event(s); raise the recorder's MaxEvents", dropped)
+			}
 		}
 	}
 	for i, je := range raw.TraceEvents {

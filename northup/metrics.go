@@ -1,0 +1,53 @@
+package northup
+
+// This file re-exports the continuous-metrics surface (package obs): a
+// deterministic typed registry — counters, gauges, fixed-bucket virtual-time
+// histograms — the runtime populates when Options.Metrics is set, a
+// virtual-time sampler turning gauges into time series, and the Prometheus
+// text / JSON exporters. Metrics are off by default and cost one branch per
+// potential observation when disabled.
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Continuous-metrics types.
+type (
+	// MetricsRegistry is the deterministic metric registry. Hand a fresh one
+	// to the runtime via Options.Metrics before NewRuntime, then export it
+	// after Run with WriteMetricsPrometheus / WriteMetricsJSON.
+	MetricsRegistry = obs.Registry
+	// MetricsSampler snapshots every gauge at a fixed virtual-time tick,
+	// producing deterministic time series (queue depth, cache hit rate,
+	// bandwidth utilization over the run). Attach via Options.Sampler.
+	MetricsSampler = obs.Sampler
+	// SamplerOptions sets the sampler's tick and point cap.
+	SamplerOptions = obs.SamplerOptions
+	// MetricPoint is one flattened (name, kind, value) sample of a registry.
+	MetricPoint = obs.Point
+	// MetricSeries is one gauge's sampled time series.
+	MetricSeries = obs.Series
+)
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewMetricsSampler attaches a sampler to a registry; a non-positive Tick
+// returns nil, which every consumer treats as "sampling disabled".
+func NewMetricsSampler(reg *MetricsRegistry, opts SamplerOptions) *MetricsSampler {
+	return obs.NewSampler(reg, opts)
+}
+
+// WriteMetricsPrometheus renders the registry in the Prometheus text
+// exposition format. Identical runs produce byte-identical output.
+func WriteMetricsPrometheus(w io.Writer, reg *MetricsRegistry) error {
+	return reg.WritePrometheus(w)
+}
+
+// WriteMetricsJSON renders the registry — and, with a non-nil sampler, the
+// sampled time series — as a JSON document (schema northup-metrics/v1).
+func WriteMetricsJSON(w io.Writer, reg *MetricsRegistry, s *MetricsSampler) error {
+	return reg.WriteJSON(w, s)
+}

@@ -1,0 +1,90 @@
+package northup_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/northup"
+)
+
+// meteredGEMM runs one fixed GEMM workload with the continuous metrics
+// registry (and optionally the sampler) attached via the public API.
+func meteredGEMM(t *testing.T, tick northup.Time) (northup.RunStats, *northup.MetricsRegistry, *northup.MetricsSampler) {
+	t.Helper()
+	e := northup.NewEngine()
+	tree := northup.APU(e, northup.APUConfig{Storage: northup.SSD,
+		StorageMiB: 512, DRAMMiB: 16, WithCPU: true})
+	opts := northup.DefaultOptions()
+	reg := northup.NewMetricsRegistry()
+	opts.Metrics = reg
+	sampler := northup.NewMetricsSampler(reg, northup.SamplerOptions{Tick: tick})
+	opts.Sampler = sampler
+	rt := northup.NewRuntime(e, tree, opts)
+	res, err := northup.GEMMNorthup(rt, northup.GEMMConfig{N: 192, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Stats, reg, sampler
+}
+
+// TestMetricsPublicSurface checks the re-exported registry/sampler surface
+// end to end: metrics accumulate during a public-API run, both exporters
+// are deterministic across identical runs, and the busy-time counters
+// reconcile with the run's Breakdown.
+func TestMetricsPublicSurface(t *testing.T) {
+	export := func() (northup.RunStats, string, string) {
+		stats, reg, sampler := meteredGEMM(t, 100*northup.Microsecond)
+		var prom, js bytes.Buffer
+		if err := northup.WriteMetricsPrometheus(&prom, reg); err != nil {
+			t.Fatal(err)
+		}
+		if err := northup.WriteMetricsJSON(&js, reg, sampler); err != nil {
+			t.Fatal(err)
+		}
+		return stats, prom.String(), js.String()
+	}
+	stats, prom, js := export()
+	_, prom2, js2 := export()
+	if prom != prom2 || js != js2 {
+		t.Fatal("identical runs exported different metrics")
+	}
+	if !strings.Contains(prom, "# TYPE northup_busy_ns_total counter") {
+		t.Error("Prometheus export lacks the busy-time counter family")
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Metrics []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"metrics"`
+		Series []struct {
+			Name   string `json:"name"`
+			Points []struct {
+				T int64   `json:"t_ns"`
+				V float64 `json:"v"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(js), &doc); err != nil {
+		t.Fatalf("JSON export unparsable: %v", err)
+	}
+	if doc.Schema != "northup-metrics/v1" {
+		t.Errorf("schema %q", doc.Schema)
+	}
+	if len(doc.Series) == 0 {
+		t.Error("sampler produced no time series")
+	}
+	var gpuBusy float64
+	for _, m := range doc.Metrics {
+		if m.Name == `northup_busy_ns_total{cat="gpu"}` {
+			gpuBusy = m.Value
+		}
+	}
+	if got := northup.Time(gpuBusy); got != stats.Breakdown.Busy(trace.GPUCompute) {
+		t.Errorf("metric GPU busy %v, Breakdown says %v", got,
+			stats.Breakdown.Busy(trace.GPUCompute))
+	}
+}
