@@ -1,15 +1,17 @@
 # Build and test gates for the Northup reproduction.
 #
-#   make check       tier-1 gate: build + full test suite (the CI floor)
-#   make strict      tier-2 gate: vet + race tests + trace demo + perf gate
-#   make bench-json  benchmark artifacts -> BENCH_cache.json, BENCH_perf.json
-#   make bench-check perf-regression gate: re-run the perf suite (race
-#                    detector on) and diff against the committed BENCH_perf.json
-#   make all         both gates plus the benchmark artifacts
+#   make check        tier-1 gate: build + full test suite (the CI floor)
+#   make strict       tier-2 gate: vet + race tests + trace demo + perf gate
+#   make bench-json   benchmark artifacts -> BENCH_cache.json,
+#                     BENCH_stream.json, BENCH_perf.json
+#   make bench-stream streamed-transfer overlap sweep -> BENCH_stream.json
+#   make bench-check  perf-regression gate: re-run the perf suite (race
+#                     detector on) and diff against the committed BENCH_perf.json
+#   make all          both gates plus the benchmark artifacts
 
 GO ?= go
 
-.PHONY: all build test vet race check strict bench bench-json bench-check trace-demo clean
+.PHONY: all build test vet race check strict bench bench-json bench-stream bench-check trace-demo clean
 
 all: check strict bench-json
 
@@ -46,12 +48,18 @@ bench:
 
 # Machine-readable artifacts: the staging-cache sweep (name, virtual time,
 # speedup, hit rate per capacity point) plus the matching -benchtime=1x
-# ablation run, and the paper-scale perf baseline the regression gate diffs
-# against. Both are committed; regenerate after intentional model changes.
-bench-json:
+# ablation run, the streamed-transfer overlap sweep, and the paper-scale
+# perf baseline the regression gate diffs against. All are committed;
+# regenerate after intentional model changes.
+bench-json: bench-stream
 	$(GO) run ./cmd/northup-bench -fig cache -format json > BENCH_cache.json
 	$(GO) test -bench=BenchmarkAblationShardCache -benchtime=1x -run=^$$ .
 	$(GO) run ./cmd/northup-bench -baseline BENCH_perf.json
+
+# Streamed-transfer overlap sweep: speedup vs sub-chunk count for the
+# paper-shaped GEMM shard pipelined storage -> DRAM -> GPU memory.
+bench-stream:
+	$(GO) run ./cmd/northup-bench -fig stream -format json > BENCH_stream.json
 
 # Perf-regression gate: re-run the paper-scale perf suite under the race
 # detector and diff every metric against the committed baseline with
@@ -61,4 +69,4 @@ bench-check:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_cache.json trace-demo.json
+	rm -f BENCH_cache.json BENCH_stream.json trace-demo.json

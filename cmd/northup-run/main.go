@@ -5,6 +5,7 @@
 //
 //	northup-run -app gemm|hotspot|spmv [-preset apu|apu-hdd|discrete|nvm|inmemory]
 //	            [-spec file.json] [-n N] [-chunk D] [-iters K] [-phantom]
+//	            [-streamed] [-subchunks S]
 //	            [-faults seed=N,rate=P,...] [-retries K]
 //	            [-cache] [-cache-mib M] [-cache-share F] [-prefetch]
 //	            [-trace-out trace.json] [-trace-events N] [-metrics]
@@ -35,6 +36,13 @@
 // outages (see northup.ParseFaults for the full syntax); the runtime absorbs
 // them with retries and failover, and the report gains resilience counters.
 //
+// With -streamed the gemm and hotspot staging moves route through the
+// streaming transfer engine: each multi-hop move is split into sub-chunks
+// that pipeline through the tree's intermediate nodes on bounded
+// double-buffered rings, overlapping every hop. -subchunks fixes the split
+// (0 lets the adaptive sizer choose per move), and the report gains a
+// streaming summary line.
+//
 // Functional mode (the default) computes and verifies real results, so keep
 // -n modest; -phantom charges identical virtual time with no payloads and
 // handles paper-scale inputs.
@@ -59,6 +67,8 @@ func main() {
 		"hotspot: queue-based CPU+GPU work stealing at the leaf (enables GPU-outage failover)")
 	avgNNZ := flag.Int("nnz", 16, "average non-zeros per row (spmv)")
 	phantom := flag.Bool("phantom", false, "timing-only mode (no payloads; paper-scale capable)")
+	streamed := flag.Bool("streamed", false, "route gemm/hotspot staging moves through the streaming transfer engine")
+	subchunks := flag.Int("subchunks", 0, "streamed sub-chunks per move (0 = adaptive sizer)")
 	storageMiB := flag.Int64("storage-mib", 1024, "preset storage capacity")
 	dramMiB := flag.Int64("dram-mib", 16, "preset staging capacity")
 	faults := flag.String("faults", "",
@@ -130,7 +140,8 @@ func main() {
 		if *preset == "inmemory" && *specPath == "" {
 			res, err = northup.GEMMInMemory(rt, northup.GEMMConfig{N: *n, Seed: 1})
 		} else {
-			res, err = northup.GEMMNorthup(rt, northup.GEMMConfig{N: *n, Seed: 1, ShardDim: *chunk})
+			res, err = northup.GEMMNorthup(rt, northup.GEMMConfig{N: *n, Seed: 1, ShardDim: *chunk,
+				Streamed: *streamed, StreamOpts: northup.StreamOptions{SubChunks: *subchunks}})
 		}
 		if err != nil {
 			fatal(err)
@@ -154,7 +165,8 @@ func main() {
 				*n, chunkDim, *iters, res.Pops, res.Steals, res.TasksByGPU, res.TasksByCPU, res.Failovers)
 			break
 		}
-		cfg := northup.HotSpotConfig{N: *n, Seed: 1, ChunkDim: *chunk, Iters: *iters}
+		cfg := northup.HotSpotConfig{N: *n, Seed: 1, ChunkDim: *chunk, Iters: *iters,
+			Streamed: *streamed, StreamOpts: northup.StreamOptions{SubChunks: *subchunks}}
 		var res *northup.HotSpotResult
 		if *preset == "inmemory" && *specPath == "" {
 			res, err = northup.HotSpotInMemory(rt, cfg)
@@ -186,6 +198,11 @@ func main() {
 
 	fmt.Printf("\nsimulated execution: %v\n", stats.Elapsed)
 	fmt.Print(stats.Breakdown.Report())
+	if *streamed {
+		ss := rt.StreamStats()
+		fmt.Printf("streaming: %d stream(s), %d sub-chunks, %d hop moves, %d bytes, peak in-flight %d\n",
+			ss.Streams, ss.SubChunks, ss.HopMoves, ss.Bytes, ss.MaxInFlight)
+	}
 	if *cacheOn {
 		fmt.Print(rt.CacheReport())
 	}

@@ -31,6 +31,16 @@ type Config struct {
 	// optimization. It requires the staging level (typically an NVM node,
 	// see topo.APUWithNVM) to hold B on top of the shard working set.
 	StageB bool
+	// Streamed routes the A row-shard loads, the B k-panel loads, and the
+	// C stores through the streaming transfer engine (§III-C multi-stage
+	// transfers): each move is split into sub-chunks so successive hops of
+	// the path overlap. On single-hop moves with adaptive sizing the
+	// streamed path degenerates to the monolithic one bit- and
+	// time-identically.
+	Streamed bool
+	// StreamOpts tunes the streamed moves (zero value = adaptive sizing
+	// with double-buffered staging rings).
+	StreamOpts core.StreamOptions
 }
 
 func (cfg *Config) setDefaults() error {
@@ -164,7 +174,11 @@ func RunNorthup(rt *core.Runtime, cfg Config) (*Result, error) {
 		for i := 0; i < cb; i++ {
 			// Load the row shard once; it is reused by every column shard
 			// of this block row (the §IV-A reuse optimization).
-			if err := c.MoveDataDown(rowShard, fa, 0, int64(i)*shardBytes, shardBytes); err != nil {
+			if cfg.Streamed {
+				if err := c.MoveDataDownStreamed(rowShard, fa, 0, int64(i)*shardBytes, shardBytes, cfg.StreamOpts); err != nil {
+					return err
+				}
+			} else if err := c.MoveDataDown(rowShard, fa, 0, int64(i)*shardBytes, shardBytes); err != nil {
 				return err
 			}
 			depth := cfg.Depth
@@ -212,7 +226,7 @@ func RunNorthup(rt *core.Runtime, cfg Config) (*Result, error) {
 						}
 						cBlocks[j] = buf
 						err = sub.Descend(dram, func(dc *core.Ctx) error {
-							return multiplyShard(dc, rowShard, colShards[j], buf, s, n, s, functional)
+							return multiplyShard(dc, rowShard, colShards[j], buf, s, n, s, functional, cfg)
 						})
 						if cfg.StageB {
 							sub.Release(colShards[j])
@@ -225,7 +239,13 @@ func RunNorthup(rt *core.Runtime, cfg Config) (*Result, error) {
 				},
 				func(sub *core.Ctx, j int) error { // store result block
 					return sub.Task("store-block", blockBytes, func(sub *core.Ctx) error {
-						err := sub.MoveData(fc, cBlocks[j], (int64(i)*int64(cb)+int64(j))*blockBytes, 0, blockBytes)
+						var err error
+						off := (int64(i)*int64(cb) + int64(j)) * blockBytes
+						if cfg.Streamed {
+							err = sub.MoveDataUpStreamed(fc, cBlocks[j], off, 0, blockBytes, cfg.StreamOpts)
+						} else {
+							err = sub.MoveData(fc, cBlocks[j], off, 0, blockBytes)
+						}
 						sub.Release(cBlocks[j])
 						cBlocks[j] = nil
 						return err
@@ -254,7 +274,7 @@ func RunNorthup(rt *core.Runtime, cfg Config) (*Result, error) {
 // otherwise it decomposes along k into panels sized for the child level and
 // accumulates there — the recursive step of Listing 3 applied one level
 // further down (the discrete-GPU case of §V-C).
-func multiplyShard(c *core.Ctx, aBuf, bBuf, cBuf *core.Buffer, n, k, m int, functional bool) error {
+func multiplyShard(c *core.Ctx, aBuf, bBuf, cBuf *core.Buffer, n, k, m int, functional bool, cfg Config) error {
 	if c.IsLeaf() {
 		var cv, av, bv []float32
 		if functional {
@@ -302,7 +322,13 @@ func multiplyShard(c *core.Ctx, aBuf, bBuf, cBuf *core.Buffer, n, k, m int, func
 				int64(p)*int64(kp)*4, int64(k)*4, n, kp*4); err != nil {
 				return err
 			}
-			// B panel: kp full rows, contiguous.
+			// B panel: kp full rows, contiguous — the streamed path
+			// sub-chunks it so the PCIe hop overlaps itself across
+			// sub-chunks (and degenerates to one chunk when not worth it).
+			if cfg.Streamed {
+				return sub.MoveDataDownStreamed(gB[s], bBuf, 0,
+					int64(p)*int64(kp)*int64(m)*4, int64(kp)*int64(m)*4, cfg.StreamOpts)
+			}
 			return sub.MoveData(gB[s], bBuf, 0,
 				int64(p)*int64(kp)*int64(m)*4, int64(kp)*int64(m)*4)
 		},
@@ -325,6 +351,9 @@ func multiplyShard(c *core.Ctx, aBuf, bBuf, cBuf *core.Buffer, n, k, m int, func
 	)
 	if err != nil {
 		return err
+	}
+	if cfg.Streamed {
+		return c.MoveDataUpStreamed(cBuf, gC, 0, 0, int64(n)*int64(m)*4, cfg.StreamOpts)
 	}
 	return c.MoveDataUp(cBuf, gC, 0, 0, int64(n)*int64(m)*4)
 }

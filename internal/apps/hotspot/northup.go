@@ -27,6 +27,14 @@ type Config struct {
 	// Depth is the chunk-pipeline depth (default 1: double buffering of
 	// whole chunks, which is what 2 GiB of staging admits at 8k blocking).
 	Depth int
+	// Streamed routes the chunk loads and stores — including the halo
+	// (border) loads and the GPU staging moves on 3-level trees — through
+	// the streaming transfer engine, sub-chunking each move so successive
+	// hops overlap. Adaptive sizing degenerates to the monolithic path
+	// when sub-chunking cannot help.
+	Streamed bool
+	// StreamOpts tunes the streamed moves (zero value = adaptive sizing).
+	StreamOpts core.StreamOptions
 }
 
 func (cfg *Config) setDefaults() error {
@@ -225,6 +233,12 @@ func runChunked(rt *core.Runtime, cfg Config, compute chunkComputeFn) (*Result, 
 							return err
 						}
 						slots[ci] = s
+						if cfg.Streamed {
+							if err := sub.MoveDataDownStreamed(s.tin, src, 0, int64(ci)*chunkBytes, chunkBytes, cfg.StreamOpts); err != nil {
+								return err
+							}
+							return sub.MoveDataDownStreamed(s.bord, bSrc, 0, borderOff(ci, d), borderBytes, cfg.StreamOpts)
+						}
 						if err := sub.MoveData(s.tin, src, 0, int64(ci)*chunkBytes, chunkBytes); err != nil {
 							return err
 						}
@@ -246,7 +260,11 @@ func runChunked(rt *core.Runtime, cfg Config, compute chunkComputeFn) (*Result, 
 						// bounds in-flight chunks to depth+1, which is what a
 						// 2 GiB staging buffer admits at the paper's 8k
 						// blocking.
-						if err := sub.MoveData(dst, s.tin, int64(ci)*chunkBytes, 0, chunkBytes); err != nil {
+						if cfg.Streamed {
+							if err := sub.MoveDataUpStreamed(dst, s.tin, int64(ci)*chunkBytes, 0, chunkBytes, cfg.StreamOpts); err != nil {
+								return err
+							}
+						} else if err := sub.MoveData(dst, s.tin, int64(ci)*chunkBytes, 0, chunkBytes); err != nil {
 							return err
 						}
 						if err := writeNeighborBorders(sub, bDst, s.tin, d, cb, ci); err != nil {
@@ -342,13 +360,19 @@ func computeChunk(dc *core.Ctx, cfg Config, compute chunkComputeFn,
 		dc.Release(gpow)
 		dc.Release(gbord)
 	}()
-	if err := dc.MoveDataDown(gin, tin, 0, 0, chunkBytes); err != nil {
+	moveDown := func(dst, src *core.Buffer, n int64) error {
+		if cfg.Streamed {
+			return dc.MoveDataDownStreamed(dst, src, 0, 0, n, cfg.StreamOpts)
+		}
+		return dc.MoveDataDown(dst, src, 0, 0, n)
+	}
+	if err := moveDown(gin, tin, chunkBytes); err != nil {
 		return err
 	}
-	if err := dc.MoveDataDown(gpow, pow, 0, 0, chunkBytes); err != nil {
+	if err := moveDown(gpow, pow, chunkBytes); err != nil {
 		return err
 	}
-	if err := dc.MoveDataDown(gbord, bord, 0, 0, bord.Size()); err != nil {
+	if err := moveDown(gbord, bord, bord.Size()); err != nil {
 		return err
 	}
 	err = dc.Descend(child, func(lc *core.Ctx) error {
@@ -363,6 +387,9 @@ func computeChunk(dc *core.Ctx, cfg Config, compute chunkComputeFn,
 	})
 	if err != nil {
 		return err
+	}
+	if cfg.Streamed {
+		return dc.MoveDataUpStreamed(tin, gin, 0, 0, chunkBytes, cfg.StreamOpts)
 	}
 	return dc.MoveDataUp(tin, gin, 0, 0, chunkBytes)
 }

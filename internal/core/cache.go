@@ -275,8 +275,8 @@ func (nc *nodeCache) release(rt *Runtime, p *sim.Proc, victims []any) {
 // prefetchDown issues an asynchronous fetch of src[srcOff:srcOff+n) into
 // child's cache. It is advisory: invalid arguments, a disabled prefetcher,
 // an extent already present or in flight, or a blocked pool all make it a
-// no-op, and fetch errors are swallowed (the demand fetch will retry and
-// surface them).
+// no-op. Fetch errors do not propagate (the demand fetch will retry and
+// surface them) but are counted as CacheStats.PrefetchErrors.
 func (rt *Runtime) prefetchDown(p *sim.Proc, at, child *topo.Node, src *Buffer, srcOff, n int64) {
 	if !rt.opts.Cache.Enabled || !rt.opts.Cache.Prefetch {
 		return
@@ -304,7 +304,12 @@ func (rt *Runtime) prefetchDown(p *sim.Proc, at, child *topo.Node, src *Buffer, 
 	rt.bd.Cache().Prefetches++
 	rt.emitInstant(cacheLane(child.ID), "prefetch", p.Now(), n)
 	rt.engine.Spawn(fmt.Sprintf("prefetch-%v", key), func(pp *sim.Proc) {
-		_, _ = nc.fill(rt, pp, e, child, src, srcOff, n, false)
+		if _, err := nc.fill(rt, pp, e, child, src, srcOff, n, false); err != nil {
+			// The demand fetch will retry and surface its own error; what is
+			// lost here is the lookahead, so count it instead of dropping it.
+			rt.bd.Cache().PrefetchErrors++
+			rt.emitInstant(cacheLane(child.ID), "prefetch-error", pp.Now(), n)
+		}
 		latch.Fire()
 	})
 }

@@ -114,6 +114,17 @@ type Runtime struct {
 	spanObs []func(trace.Event) // span observers (profile-guided scheduling)
 	bufSeq  int
 	bufIDs  int64 // stable buffer identities keying cache entries
+
+	// Streamed-move telemetry (see stream.go): cumulative counters, the
+	// current number of sub-chunks in flight, and per-hop achieved-bandwidth
+	// aggregates keyed by the hop's destination node.
+	streamStats    StreamStats
+	streamInflight int64
+	streamHops     map[int]*streamHopAgg
+
+	// scratch recycles the file-to-file staging buffers of moveOnce and
+	// move2DOnce, so retries and hot loops stop re-allocating.
+	scratch [][]byte
 }
 
 // nextBufID mints the next stable buffer identity.
@@ -129,14 +140,15 @@ func NewRuntime(e *sim.Engine, t *topo.Tree, opts Options) *Runtime {
 		opts.Retry = DefaultRetryPolicy()
 	}
 	rt := &Runtime{
-		engine: e,
-		tree:   t,
-		opts:   opts,
-		rec:    opts.Trace,
-		allocs: make(map[int]*alloc.Allocator),
-		caches: make(map[int]*nodeCache),
-		pcie:   device.PCIeLink(e),
-		dma:    device.DMALink(e),
+		engine:     e,
+		tree:       t,
+		opts:       opts,
+		rec:        opts.Trace,
+		allocs:     make(map[int]*alloc.Allocator),
+		caches:     make(map[int]*nodeCache),
+		pcie:       device.PCIeLink(e),
+		dma:        device.DMALink(e),
+		streamHops: make(map[int]*streamHopAgg),
 	}
 	for _, n := range t.Nodes() {
 		if !n.Kind().IsFileStore() {

@@ -37,6 +37,14 @@ const (
 	mQueueSteals  = "northup_queue_steals_total"
 	mTraceDropped = "northup_trace_dropped_events"
 	mElapsedNS    = "northup_elapsed_ns"
+
+	mStreamMoves     = "northup_stream_moves_total"
+	mStreamSubChunks = "northup_stream_subchunks_total"
+	mStreamHopMoves  = "northup_stream_hop_moves_total"
+	mStreamBytes     = "northup_stream_bytes_total"
+	mStreamInflight  = "northup_stream_inflight"
+	mStreamRing      = "northup_stream_ring_occupancy"
+	mStreamHopBW     = "northup_stream_hop_bw"
 )
 
 // spanNSBuckets are the fixed span-duration histogram bounds in
@@ -65,8 +73,15 @@ type runtimeMetrics struct {
 	// Cache counters, synced from the Breakdown's CacheStats.
 	cacheHits, cacheMisses, cacheEvictions, cachePrefetches,
 	cachePrefetchHits, cacheBypasses, cacheInvalidations,
-	cacheHitBytes, cacheMissBytes *obs.Counter
+	cachePrefetchErrors, cacheHitBytes, cacheMissBytes *obs.Counter
 	cacheHitRate *obs.Gauge
+
+	// Streamed-move instruments (stream.go): scalar totals synced from
+	// StreamStats, the live in-flight gauge, and lazy per-node gauges for
+	// staging-ring occupancy and per-hop achieved bandwidth.
+	streamMoves, streamSubChunks, streamHopMoves, streamBytes *obs.Counter
+	streamInflight                                            *obs.Gauge
+	streamRing, streamHopBW                                   map[int]*obs.Gauge
 
 	// Resilience counters, synced from ResilienceStats.
 	resFaults, resRetries, resTimeouts, resFailovers, resGaveUp *obs.Counter
@@ -89,13 +104,15 @@ type runtimeMetrics struct {
 // the handle set. sampler may be nil (no time series).
 func newRuntimeMetrics(rt *Runtime, reg *obs.Registry, sampler *obs.Sampler) *runtimeMetrics {
 	m := &runtimeMetrics{reg: reg, sampler: sampler,
-		busy:       make([]*obs.Counter, len(trace.Categories)),
-		spans:      make([]*obs.Counter, len(trace.Categories)),
-		spanNS:     make([]*obs.Histogram, len(trace.Categories)),
-		movedBytes: map[int]*obs.Counter{},
-		bwUtil:     map[int]*obs.Gauge{},
-		nominalBW:  map[int]float64{},
-		queueDepth: map[int]*obs.Gauge{},
+		busy:        make([]*obs.Counter, len(trace.Categories)),
+		spans:       make([]*obs.Counter, len(trace.Categories)),
+		spanNS:      make([]*obs.Histogram, len(trace.Categories)),
+		movedBytes:  map[int]*obs.Counter{},
+		bwUtil:      map[int]*obs.Gauge{},
+		nominalBW:   map[int]float64{},
+		queueDepth:  map[int]*obs.Gauge{},
+		streamRing:  map[int]*obs.Gauge{},
+		streamHopBW: map[int]*obs.Gauge{},
 	}
 	for _, c := range trace.Categories {
 		lbl := obs.L("cat", c.String())
@@ -115,6 +132,7 @@ func newRuntimeMetrics(rt *Runtime, reg *obs.Registry, sampler *obs.Sampler) *ru
 	m.cachePrefetchHits = reg.Counter("northup_cache_prefetch_hits_total", "prefetched entries that served a demand fetch")
 	m.cacheBypasses = reg.Counter("northup_cache_bypasses_total", "cached fetches that fell back to a plain move")
 	m.cacheInvalidations = reg.Counter("northup_cache_invalidations_total", "entries dropped after their source was overwritten")
+	m.cachePrefetchErrors = reg.Counter("northup_cache_prefetch_errors_total", "lookahead fills that failed after exhausting retries")
 	m.cacheHitBytes = reg.Counter("northup_cache_hit_bytes_total", "bytes served from resident buffers")
 	m.cacheMissBytes = reg.Counter("northup_cache_miss_bytes_total", "bytes fetched across the edge")
 	m.cacheHitRate = reg.Gauge(mCacheHitRate, "hits / (hits + misses)")
@@ -132,6 +150,12 @@ func newRuntimeMetrics(rt *Runtime, reg *obs.Registry, sampler *obs.Sampler) *ru
 
 	m.queuePops = reg.Counter(mQueuePops, "local deque pops across leaf schedulers")
 	m.queueSteal = reg.Counter(mQueueSteals, "work-steal operations across leaf schedulers")
+
+	m.streamMoves = reg.Counter(mStreamMoves, "streamed moves issued")
+	m.streamSubChunks = reg.Counter(mStreamSubChunks, "sub-chunks across all streamed moves")
+	m.streamHopMoves = reg.Counter(mStreamHopMoves, "per-hop sub-chunk moves driven by the stream engine")
+	m.streamBytes = reg.Counter(mStreamBytes, "payload bytes delivered by streamed moves")
+	m.streamInflight = reg.Gauge(mStreamInflight, "sub-chunks currently in the pipe")
 
 	m.traceDropped = reg.Gauge(mTraceDropped, "events the bounded trace ring dropped")
 	m.elapsed = reg.Gauge(mElapsedNS, "virtual time at the last metrics sync")
@@ -215,6 +239,7 @@ func (rt *Runtime) syncMetrics(now sim.Time) {
 	m.cachePrefetchHits.SyncTo(cs.PrefetchHits)
 	m.cacheBypasses.SyncTo(cs.Bypasses)
 	m.cacheInvalidations.SyncTo(cs.Invalidations)
+	m.cachePrefetchErrors.SyncTo(cs.PrefetchErrors)
 	m.cacheHitBytes.SyncTo(cs.HitBytes)
 	m.cacheMissBytes.SyncTo(cs.MissBytes)
 	m.cacheHitRate.Set(cs.HitRate())
@@ -231,6 +256,22 @@ func (rt *Runtime) syncMetrics(now sim.Time) {
 		m.faultTransferDelays.SyncTo(fs.TransferDelays)
 		m.faultAllocFails.SyncTo(fs.AllocFails)
 		m.faultOfflineRejects.SyncTo(fs.OfflineRejects)
+	}
+
+	m.streamMoves.SyncTo(rt.streamStats.Streams)
+	m.streamSubChunks.SyncTo(rt.streamStats.SubChunks)
+	m.streamHopMoves.SyncTo(rt.streamStats.HopMoves)
+	m.streamBytes.SyncTo(rt.streamStats.Bytes)
+	m.streamInflight.Set(float64(rt.streamInflight))
+	for node, agg := range rt.streamHops {
+		g, ok := m.streamHopBW[node]
+		if !ok {
+			g = m.reg.Gauge(mStreamHopBW, "achieved streamed-hop bandwidth into each node, bytes/s", nodeLabel(node))
+			m.streamHopBW[node] = g
+		}
+		if agg.busy > 0 {
+			g.Set(float64(agg.bytes) / (float64(agg.busy) / 1e9))
+		}
 	}
 
 	if rt.rec != nil {

@@ -68,10 +68,11 @@ func (rt *Runtime) moveOnce(p *sim.Proc, dst *Buffer, src *Buffer, dstOff, srcOf
 		err = dst.file.WriteAt(p, src.data[srcOff:srcOff+n], dstOff)
 	case src.file != nil && dst.file != nil:
 		cat = trace.IO
-		tmp := make([]byte, n)
+		tmp := rt.getScratch(n)
 		if err = src.file.ReadAt(p, tmp, srcOff); err == nil {
 			err = dst.file.WriteAt(p, tmp, dstOff)
 		}
+		rt.putScratch(tmp)
 	default: // memory to memory
 		cat = trace.Transfer
 		copy(dst.data[dstOff:dstOff+n], src.data[srcOff:srcOff+n])
@@ -155,7 +156,10 @@ func (rt *Runtime) move2DOnce(p *sim.Proc, dst *Buffer, src *Buffer,
 		}
 	case src.file != nil && dst.file != nil:
 		cat = trace.IO
-		tmp := make([]byte, rowBytes)
+		var tmp []byte
+		if !phantom {
+			tmp = rt.getScratch(int64(rowBytes))
+		}
 		for r := 0; r < rows && err == nil; r++ {
 			if phantom {
 				if err = src.file.Charge(p, device.Read, srcOff+int64(r)*srcStride, int64(rowBytes)); err == nil {
@@ -167,6 +171,7 @@ func (rt *Runtime) move2DOnce(p *sim.Proc, dst *Buffer, src *Buffer,
 				err = dst.file.WriteAt(p, tmp, dstOff+int64(r)*dstStride)
 			}
 		}
+		rt.putScratch(tmp)
 	default:
 		cat = trace.Transfer
 		if !phantom {
@@ -228,6 +233,47 @@ func (rt *Runtime) link(src, dst *Buffer) *device.Link {
 		return rt.pcie
 	}
 	return rt.dma
+}
+
+// scratchPoolSlots bounds how many recycled file-to-file staging buffers
+// the runtime keeps; the pool exists so a retried move (or a hot loop of
+// them) does not re-allocate its n-byte scratch on every attempt.
+const scratchPoolSlots = 4
+
+// getScratch returns an n-byte staging buffer, recycling a pooled one when
+// any is large enough. Concurrent tasks simply take distinct entries (or
+// fresh ones when the pool runs dry), so a buffer is never shared while a
+// blocking I/O charge is in flight.
+func (rt *Runtime) getScratch(n int64) []byte {
+	for i := len(rt.scratch) - 1; i >= 0; i-- {
+		if int64(cap(rt.scratch[i])) >= n {
+			b := rt.scratch[i]
+			rt.scratch = append(rt.scratch[:i], rt.scratch[i+1:]...)
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// putScratch returns a staging buffer to the pool, evicting the smallest
+// entry when full so the pool converges on the largest recent sizes.
+func (rt *Runtime) putScratch(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	if len(rt.scratch) < scratchPoolSlots {
+		rt.scratch = append(rt.scratch, b)
+		return
+	}
+	smallest := 0
+	for i := 1; i < len(rt.scratch); i++ {
+		if cap(rt.scratch[i]) < cap(rt.scratch[smallest]) {
+			smallest = i
+		}
+	}
+	if cap(rt.scratch[smallest]) < cap(b) {
+		rt.scratch[smallest] = b
+	}
 }
 
 // checkMove validates handles and ranges common to all move variants.

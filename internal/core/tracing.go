@@ -30,6 +30,12 @@ const (
 	spanPIM         = "pim"
 	spanFPGA        = "fpga"
 	spanWorkerTask  = "task"
+
+	// Streamed-move telemetry (stream.go). The hop span is structural
+	// (category None): the MoveData underneath it owns the charge.
+	spanStreamHop     = "stream-hop"
+	ctrStreamInflight = "stream-inflight"
+	ctrStreamRing     = "ring-occupancy"
 )
 
 // TraceRecorder returns the runtime's event recorder, nil when tracing is

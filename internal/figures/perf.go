@@ -94,6 +94,25 @@ func PerfSuite(o Options) (*PerfProfile, error) {
 			Metrics:   reg.Flatten(),
 		})
 	}
+	// Fourth entry: the adaptive streamed GEMM shard on the discrete tree
+	// (the `stream` figure's workload), so a lost hop overlap — slower
+	// makespan, fewer sub-chunks, shrunken in-flight peak — fails the gate.
+	reg := obs.NewRegistry()
+	payload := int64(o.denseN()/2) * streamShardCols * 4
+	elapsed, _, _, err := o.runStreamedShard(payload, 0, reg)
+	if err != nil {
+		return nil, fmt.Errorf("figures: perf suite: stream-overlap: %w", err)
+	}
+	prof.Apps = append(prof.Apps, AppPerf{
+		Name:      "stream-overlap",
+		ElapsedNS: int64(elapsed),
+		Metrics:   reg.Flatten(),
+	})
+	// Per-hop bandwidth is a last-value gauge: the final sub-chunk's size
+	// (and so its instantaneous rate) shifts with any resizing rework even
+	// when the pipeline is healthy, so it gets a wider band than the
+	// totals the gate is really guarding.
+	prof.Tolerances = map[string]float64{"northup_stream_hop_bw": 0.10}
 	return prof, nil
 }
 

@@ -16,12 +16,23 @@ func perfProfile(t *testing.T) *PerfProfile {
 	return p
 }
 
-// TestPerfSuiteShape checks the profile covers all three apps with real
-// virtual time and a populated metric map.
+// TestPerfSuiteShape checks the profile covers the three apps plus the
+// streamed-shard entry with real virtual time and a populated metric map.
 func TestPerfSuiteShape(t *testing.T) {
 	p := perfProfile(t)
-	if len(p.Apps) != len(Apps) {
-		t.Fatalf("profile has %d apps, want %d", len(p.Apps), len(Apps))
+	if len(p.Apps) != len(Apps)+1 {
+		t.Fatalf("profile has %d apps, want %d", len(p.Apps), len(Apps)+1)
+	}
+	stream := p.Apps[len(p.Apps)-1]
+	if stream.Name != "stream-overlap" {
+		t.Fatalf("last profile entry %q, want stream-overlap", stream.Name)
+	}
+	if stream.Metrics["northup_stream_subchunks_total"] < 3 {
+		t.Fatalf("stream entry moved %v sub-chunks, want adaptive >= 3",
+			stream.Metrics["northup_stream_subchunks_total"])
+	}
+	if p.Tolerances["northup_stream_hop_bw"] == 0 {
+		t.Fatal("baseline lacks the hop-bandwidth tolerance override")
 	}
 	for _, a := range p.Apps {
 		if a.ElapsedNS <= 0 {

@@ -1,0 +1,71 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStreamOverlapShapes asserts the sweep's load-bearing properties: the
+// paper's >= 1.3x overlap win at >= 3 sub-chunks, a saturating (not
+// monotonically growing) curve, a store-and-forward baseline of exactly
+// 1.0x, and the adaptive sizer landing on the plateau.
+func TestStreamOverlapShapes(t *testing.T) {
+	res, err := StreamOverlap(Options{Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(streamSubChunkCounts) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(streamSubChunkCounts))
+	}
+	byCount := map[int]StreamRow{}
+	var best float64
+	for _, row := range res.Rows {
+		byCount[row.SubChunks] = row
+		if row.Speedup > best {
+			best = row.Speedup
+		}
+	}
+	if byCount[1].Speedup != 1.0 {
+		t.Fatalf("store-and-forward baseline speedup %.3f != 1.0", byCount[1].Speedup)
+	}
+	if byCount[1].MaxInFlight != 1 {
+		t.Fatalf("baseline in-flight %d != 1", byCount[1].MaxInFlight)
+	}
+	// The acceptance bar: >= 1.3x end-to-end at >= 3 sub-chunks.
+	if byCount[3].Speedup < 1.3 {
+		t.Fatalf("3-sub-chunk speedup %.3fx < 1.3x", byCount[3].Speedup)
+	}
+	if byCount[3].MaxInFlight < 2 {
+		t.Fatalf("3-sub-chunk run never overlapped: in-flight %d", byCount[3].MaxInFlight)
+	}
+	// Saturation: the curve flattens — going from 8 to 16 sub-chunks must
+	// change the speedup by far less than going from 1 to 3 did.
+	rise := byCount[3].Speedup - byCount[1].Speedup
+	flat := byCount[16].Speedup - byCount[8].Speedup
+	if flat < 0 {
+		flat = -flat
+	}
+	if flat > rise/4 {
+		t.Fatalf("curve not saturating: |s16-s8| = %.3f vs s3-s1 = %.3f", flat, rise)
+	}
+	// Per-hop latency eventually bites: very fine chunking must not beat
+	// the plateau.
+	if byCount[32].Speedup > best {
+		t.Fatal("32 sub-chunks unexpectedly the best point")
+	}
+	// The adaptive sizer must land within 5% of the best swept point.
+	auto := byCount[0]
+	if auto.Speedup < best*0.95 {
+		t.Fatalf("adaptive sizer %.3fx below 95%% of best swept %.3fx", auto.Speedup, best)
+	}
+	if auto.Count < 3 {
+		t.Fatalf("adaptive sizer chose %d sub-chunks, expected >= 3 on the discrete tree", auto.Count)
+	}
+	// Renderers carry the sweep.
+	if !strings.Contains(res.String(), "auto") || !strings.Contains(res.CSV(), "sub_chunks") {
+		t.Fatal("String/CSV output incomplete")
+	}
+	if !strings.Contains(res.JSON(), "stream-auto") {
+		t.Fatal("JSON output incomplete")
+	}
+}

@@ -40,6 +40,7 @@ const (
 	TrackRuntime = "runtime" // bookkeeping and retry backoff
 	TrackTask    = "task"    // application-level task spans (chunks, stages)
 	TrackQueue   = "queue"   // work-queue pops/steals/depth samples
+	TrackStream  = "stream"  // streamed-move sub-chunk hops and ring telemetry
 )
 
 // Lane identifies one horizontal track of the execution timeline: a tree

@@ -90,6 +90,10 @@ type CacheStats struct {
 	// Invalidations is the number of entries dropped because their source
 	// range was overwritten.
 	Invalidations int64
+	// PrefetchErrors is the number of lookahead fills that failed after
+	// exhausting retries. Demand fetches are unaffected (they re-fetch and
+	// surface their own error), so these are silent efficiency losses.
+	PrefetchErrors int64
 	// HitBytes and MissBytes weigh the counters by traffic.
 	HitBytes  int64
 	MissBytes int64
@@ -111,15 +115,16 @@ func (s CacheStats) HitRate() float64 {
 // DeltaFrom returns the activity since prev was captured.
 func (s CacheStats) DeltaFrom(prev CacheStats) CacheStats {
 	return CacheStats{
-		Hits:          s.Hits - prev.Hits,
-		Misses:        s.Misses - prev.Misses,
-		Evictions:     s.Evictions - prev.Evictions,
-		Prefetches:    s.Prefetches - prev.Prefetches,
-		PrefetchHits:  s.PrefetchHits - prev.PrefetchHits,
-		Bypasses:      s.Bypasses - prev.Bypasses,
-		Invalidations: s.Invalidations - prev.Invalidations,
-		HitBytes:      s.HitBytes - prev.HitBytes,
-		MissBytes:     s.MissBytes - prev.MissBytes,
+		Hits:           s.Hits - prev.Hits,
+		Misses:         s.Misses - prev.Misses,
+		Evictions:      s.Evictions - prev.Evictions,
+		Prefetches:     s.Prefetches - prev.Prefetches,
+		PrefetchHits:   s.PrefetchHits - prev.PrefetchHits,
+		Bypasses:       s.Bypasses - prev.Bypasses,
+		Invalidations:  s.Invalidations - prev.Invalidations,
+		PrefetchErrors: s.PrefetchErrors - prev.PrefetchErrors,
+		HitBytes:       s.HitBytes - prev.HitBytes,
+		MissBytes:      s.MissBytes - prev.MissBytes,
 	}
 }
 
@@ -132,15 +137,20 @@ func (s *CacheStats) add(o CacheStats) {
 	s.PrefetchHits += o.PrefetchHits
 	s.Bypasses += o.Bypasses
 	s.Invalidations += o.Invalidations
+	s.PrefetchErrors += o.PrefetchErrors
 	s.HitBytes += o.HitBytes
 	s.MissBytes += o.MissBytes
 }
 
 // String renders a one-line summary.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("hits %d (%.1f%%) | misses %d | evictions %d | prefetches %d (%d hit) | bypasses %d | invalidations %d",
+	line := fmt.Sprintf("hits %d (%.1f%%) | misses %d | evictions %d | prefetches %d (%d hit) | bypasses %d | invalidations %d",
 		s.Hits, 100*s.HitRate(), s.Misses, s.Evictions, s.Prefetches, s.PrefetchHits,
 		s.Bypasses, s.Invalidations)
+	if s.PrefetchErrors > 0 {
+		line += fmt.Sprintf(" | prefetch-errors %d", s.PrefetchErrors)
+	}
+	return line
 }
 
 // Breakdown accumulates busy time per category over a run.

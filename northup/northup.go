@@ -97,6 +97,14 @@ type (
 	// CacheStats reports staging-cache traffic (hits, misses, evictions,
 	// prefetches); also embedded in every Breakdown.
 	CacheStats = trace.CacheStats
+	// StreamOptions tunes the streaming transfer engine behind
+	// Ctx.MoveDataDownStreamed / Ctx.MoveDataUpStreamed: sub-chunk count
+	// (0 = adaptive), staging-ring depth, and the per-chunk consumer hook.
+	StreamOptions = core.StreamOptions
+	// StreamStats reports streaming-engine activity (streams, sub-chunks,
+	// per-hop moves, bytes, peak pipeline and ring occupancy); read it with
+	// Runtime.StreamStats.
+	StreamStats = core.StreamStats
 )
 
 // Topology types.
