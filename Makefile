@@ -3,15 +3,16 @@
 #   make check        tier-1 gate: build + full test suite (the CI floor)
 #   make strict       tier-2 gate: vet + race tests + trace demo + perf gate
 #   make bench-json   benchmark artifacts -> BENCH_cache.json,
-#                     BENCH_stream.json, BENCH_perf.json
+#                     BENCH_stream.json, BENCH_serve.json, BENCH_perf.json
 #   make bench-stream streamed-transfer overlap sweep -> BENCH_stream.json
+#   make bench-serve  multi-tenant saturation sweep -> BENCH_serve.json
 #   make bench-check  perf-regression gate: re-run the perf suite (race
 #                     detector on) and diff against the committed BENCH_perf.json
 #   make all          both gates plus the benchmark artifacts
 
 GO ?= go
 
-.PHONY: all build test vet race check strict bench bench-json bench-stream bench-check trace-demo clean
+.PHONY: all build test vet race check strict bench bench-json bench-stream bench-serve bench-check trace-demo serve-demo clean
 
 all: check strict bench-json
 
@@ -32,7 +33,7 @@ check: build test
 
 # Tier-2: static analysis, the race detector, the trace round-trip, and the
 # perf-regression gate.
-strict: vet race trace-demo bench-check
+strict: vet race trace-demo serve-demo bench-check
 
 # End-to-end tracing smoke: capture a small traced run, then require the
 # exported Chrome trace to validate through the offline analyser.
@@ -43,6 +44,18 @@ trace-demo:
 	$(GO) run ./cmd/northup-trace trace-demo.json > /dev/null
 	rm -f trace-demo.json
 
+# Multi-tenant serving smoke: run both committed scenarios end-to-end
+# through the CLI (phantom mode) and require identical reports on a rerun
+# of the first — the DSL's same-seed byte-identical promise.
+serve-demo:
+	$(GO) run ./cmd/northup-serve -scenario specs/scenarios/two-tenant.yaml \
+		-format json > serve-demo-a.json
+	$(GO) run ./cmd/northup-serve -scenario specs/scenarios/two-tenant.yaml \
+		-format json > serve-demo-b.json
+	cmp serve-demo-a.json serve-demo-b.json
+	$(GO) run ./cmd/northup-serve -scenario specs/scenarios/saturation.json > /dev/null
+	rm -f serve-demo-a.json serve-demo-b.json
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
@@ -51,7 +64,7 @@ bench:
 # ablation run, the streamed-transfer overlap sweep, and the paper-scale
 # perf baseline the regression gate diffs against. All are committed;
 # regenerate after intentional model changes.
-bench-json: bench-stream
+bench-json: bench-stream bench-serve
 	$(GO) run ./cmd/northup-bench -fig cache -format json > BENCH_cache.json
 	$(GO) test -bench=BenchmarkAblationShardCache -benchtime=1x -run=^$$ .
 	$(GO) run ./cmd/northup-bench -baseline BENCH_perf.json
@@ -61,6 +74,11 @@ bench-json: bench-stream
 bench-stream:
 	$(GO) run ./cmd/northup-bench -fig stream -format json > BENCH_stream.json
 
+# Multi-tenant saturation sweep: offered load vs admitted/rejected/completed
+# and worst-tenant latency percentiles across rate multipliers.
+bench-serve:
+	$(GO) run ./cmd/northup-bench -fig serve -format json > BENCH_serve.json
+
 # Perf-regression gate: re-run the paper-scale perf suite under the race
 # detector and diff every metric against the committed baseline with
 # per-metric tolerances; a ≥5% drift (either direction) fails the build.
@@ -69,4 +87,4 @@ bench-check:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_cache.json BENCH_stream.json trace-demo.json
+	rm -f BENCH_cache.json BENCH_stream.json BENCH_serve.json trace-demo.json serve-demo-a.json serve-demo-b.json

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	northup-bench [-fig 6|7|8|8disk|9|11|overhead|cache|stream|perf|all] [-scale 1|2|4|8]
+//	northup-bench [-fig 6|7|8|8disk|9|11|overhead|cache|stream|serve|perf|all] [-scale 1|2|4|8]
 //	              [-format table|csv|json]
 //	northup-bench -baseline BENCH_perf.json [-scale 1|2|4|8]
 //	northup-bench -check BENCH_perf.json
@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 8disk, 9, 11, overhead, cache, stream, perf, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 8disk, 9, 11, overhead, cache, stream, serve, perf, all")
 	scale := flag.Int("scale", 1, "divide the paper's input dimensions (1, 2, 4, 8)")
 	format := flag.String("format", "table", "output format: table, csv, or json")
 	baseline := flag.String("baseline", "", "run the perf suite and write the baseline profile to this file")
@@ -73,9 +73,9 @@ func main() {
 
 	known := map[string]bool{"all": true, "6": true, "7": true, "8": true,
 		"8disk": true, "9": true, "11": true, "overhead": true, "cache": true,
-		"stream": true, "perf": true}
+		"stream": true, "serve": true, "perf": true}
 	if !known[*fig] {
-		fmt.Fprintf(os.Stderr, "northup-bench: unknown figure %q (want 6, 7, 8, 8disk, 9, 11, overhead, cache, stream, perf, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "northup-bench: unknown figure %q (want 6, 7, 8, 8disk, 9, 11, overhead, cache, stream, serve, perf, all)\n", *fig)
 		os.Exit(2)
 	}
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -106,6 +106,9 @@ func main() {
 	}
 	if want("stream") {
 		run("streamed-transfer overlap", func() (figures.Renderer, error) { return figures.StreamOverlap(o) })
+	}
+	if want("serve") {
+		run("multi-tenant serve saturation", func() (figures.Renderer, error) { return figures.ServeSaturation(o) })
 	}
 	if want("perf") {
 		run("perf profile", func() (figures.Renderer, error) { return figures.PerfSuite(o) })

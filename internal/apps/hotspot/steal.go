@@ -189,25 +189,34 @@ func stealCompute(lc *core.Ctx, blk *Block, d int, cfg StealConfig, res *StealRe
 	gpuQueues := queues[:cfg.GPUQueues]
 	cpuQueues := queues[cfg.GPUQueues:]
 
-	// Expose the queues on the tree node so subtree load is observable,
-	// as Listing 1's work_queue links intend.
+	// Expose the queues on the tree node so subtree load is observable, as
+	// Listing 1's work_queue links intend. Attach/detach (rather than an
+	// assignment) keeps the registration correct when several jobs schedule
+	// on this node concurrently, and removes the monitors when the chunk is
+	// done so no stale queues linger on the shared tree.
 	monitors := make([]sched.Monitor, len(queues))
 	for i, q := range queues {
 		monitors[i] = q
 	}
-	lc.Node().Queues = monitors
+	detach := lc.Node().AttachQueues(monitors...)
+	defer detach()
 
 	// With tracing active, every steal becomes an instant on the victim
 	// queue's lane; with metrics active, pushes/pops/steals maintain the
-	// node's live depth gauge and the pop/steal totals. Hook closures are
-	// only built when someone listens.
+	// node's live depth gauge and the pop/steal totals. The depth goes
+	// through this scheduler's own additive slot, so concurrent jobs on
+	// the node sum instead of overwriting each other; Close withdraws the
+	// contribution when the chunk is done. Hook closures are only built
+	// when someone listens.
 	rtm := lc.Runtime()
 	traceOn := rtm.TraceRecorder() != nil
 	metricsOn := rtm.MetricsEnabled()
+	depthSlot := rtm.NewQueueDepthSlot(nodeID)
+	defer depthSlot.Close()
 	if traceOn || metricsOn {
 		noteDepth := func() {
 			if metricsOn {
-				rtm.NoteQueueDepth(nodeID, int64(sched.TotalLen(queues)))
+				depthSlot.Set(int64(sched.TotalLen(queues)))
 			}
 		}
 		for i, q := range queues {
@@ -340,12 +349,12 @@ func stealCompute(lc *core.Ctx, blk *Block, d int, cfg StealConfig, res *StealRe
 		// a traced timeline shows per Jacobi step. The metrics gauge sees the
 		// same instants (plus every push/pop/steal through the hooks above).
 		lc.TraceCounter(trace.TrackQueue, "depth", int64(sched.TotalLen(queues)))
-		lc.Runtime().NoteQueueDepth(lc.Node().ID, int64(sched.TotalLen(queues)))
+		depthSlot.Set(int64(sched.TotalLen(queues)))
 		done.Add(nq)
 		start[it].Fire()
 		done.Wait(lc.Proc())
 		lc.TraceCounter(trace.TrackQueue, "depth", int64(sched.TotalLen(queues)))
-		lc.Runtime().NoteQueueDepth(lc.Node().ID, int64(sched.TotalLen(queues)))
+		depthSlot.Set(int64(sched.TotalLen(queues)))
 		if blk != nil {
 			blk.Swap()
 		}

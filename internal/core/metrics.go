@@ -92,9 +92,14 @@ type runtimeMetrics struct {
 
 	// Scheduler instruments: per-node queue-depth gauges (lazy) plus pop
 	// and steal totals, driven by the Note helpers from leaf schedulers.
-	queueDepth map[int]*obs.Gauge
-	queuePops  *obs.Counter
-	queueSteal *obs.Counter
+	// The gauge publishes the sum over live QueueDepthSlots, so concurrent
+	// schedulers on one node compose additively instead of overwriting
+	// each other's absolute depth.
+	queueDepth  map[int]*obs.Gauge
+	depthTotal  map[int]int64           // node -> sum of live slot depths
+	legacySlots map[int]*QueueDepthSlot // NoteQueueDepth's implicit slots
+	queuePops   *obs.Counter
+	queueSteal  *obs.Counter
 
 	traceDropped *obs.Gauge
 	elapsed      *obs.Gauge
@@ -111,6 +116,8 @@ func newRuntimeMetrics(rt *Runtime, reg *obs.Registry, sampler *obs.Sampler) *ru
 		bwUtil:      map[int]*obs.Gauge{},
 		nominalBW:   map[int]float64{},
 		queueDepth:  map[int]*obs.Gauge{},
+		depthTotal:  map[int]int64{},
+		legacySlots: map[int]*QueueDepthSlot{},
 		streamRing:  map[int]*obs.Gauge{},
 		streamHopBW: map[int]*obs.Gauge{},
 	}
@@ -297,19 +304,78 @@ func (rt *Runtime) syncMetrics(now sim.Time) {
 	}
 }
 
+// depthGauge resolves (and memoises) the node's queue-depth gauge.
+func (m *runtimeMetrics) depthGauge(node int) *obs.Gauge {
+	g, ok := m.queueDepth[node]
+	if !ok {
+		g = m.reg.Gauge(mQueueDepth, "work-queue depth per leaf scheduler", nodeLabel(node))
+		m.queueDepth[node] = g
+	}
+	return g
+}
+
+// QueueDepthSlot is one scheduler's contribution to a node's queue-depth
+// gauge. The gauge always publishes the sum of all live slots on the node,
+// which is what makes the metric correct when several jobs run leaf
+// schedulers on the same node concurrently: the old absolute-set form
+// (NoteQueueDepth) made the last writer win, so one job finishing could
+// freeze another job's stale depth into the gauge forever.
+//
+// A scheduler obtains a slot at setup (NewQueueDepthSlot), calls Set with
+// its own total on every queue event, and must Close the slot when it
+// winds down so its contribution returns to zero.
+type QueueDepthSlot struct {
+	rt     *Runtime
+	node   int
+	depth  int64
+	closed bool
+}
+
+// NewQueueDepthSlot registers a scheduler's depth contribution for node.
+// Usable (as a no-op) even when metrics are off.
+func (rt *Runtime) NewQueueDepthSlot(node int) *QueueDepthSlot {
+	return &QueueDepthSlot{rt: rt, node: node}
+}
+
+// Set publishes the slot's current depth; the node gauge moves by the
+// delta from the slot's previous value.
+func (s *QueueDepthSlot) Set(depth int64) {
+	if s == nil || s.closed || s.rt.met == nil {
+		return
+	}
+	m := s.rt.met
+	m.depthTotal[s.node] += depth - s.depth
+	s.depth = depth
+	m.depthGauge(s.node).Set(float64(m.depthTotal[s.node]))
+	s.rt.maybeSample(s.rt.engine.Now())
+}
+
+// Close withdraws the slot's contribution. Further Sets are no-ops.
+func (s *QueueDepthSlot) Close() {
+	if s == nil || s.closed {
+		return
+	}
+	s.Set(0)
+	s.closed = true
+}
+
 // NoteQueueDepth publishes a leaf scheduler's queue depth for node as a
 // gauge (the sampler's subject). No-op without metrics.
+//
+// It writes through a per-node slot owned by the runtime, so a single
+// scheduler per node behaves exactly as before; schedulers that can run
+// concurrently on one node must hold their own slot (NewQueueDepthSlot)
+// instead, or their depths overwrite each other within the shared slot.
 func (rt *Runtime) NoteQueueDepth(node int, depth int64) {
 	if rt.met == nil {
 		return
 	}
-	g, ok := rt.met.queueDepth[node]
+	s, ok := rt.met.legacySlots[node]
 	if !ok {
-		g = rt.met.reg.Gauge(mQueueDepth, "work-queue depth per leaf scheduler", nodeLabel(node))
-		rt.met.queueDepth[node] = g
+		s = rt.NewQueueDepthSlot(node)
+		rt.met.legacySlots[node] = s
 	}
-	g.Set(float64(depth))
-	rt.maybeSample(rt.engine.Now())
+	s.Set(depth)
 }
 
 // NotePops adds to the pop total (leaf schedulers report their deque

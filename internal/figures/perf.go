@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -107,6 +108,24 @@ func PerfSuite(o Options) (*PerfProfile, error) {
 		Name:      "stream-overlap",
 		ElapsedNS: int64(elapsed),
 		Metrics:   reg.Flatten(),
+	})
+	// Fifth entry: the multi-tenant serve engine at the sweep's 1x offered
+	// load, so an admission, fair-queueing or quota regression — longer
+	// makespan, shifted latency histograms, changed rejection counts — fails
+	// the gate. The merged registry folds the runtime's transfer/compute
+	// metrics together with every tenant's northup_serve_* series.
+	srvEng, err := serve.New(serveBaseScenario(1), serve.RunOptions{Phantom: true})
+	if err != nil {
+		return nil, fmt.Errorf("figures: perf suite: serve-mix: %w", err)
+	}
+	srvRep, err := srvEng.Run()
+	if err != nil {
+		return nil, fmt.Errorf("figures: perf suite: serve-mix: %w", err)
+	}
+	prof.Apps = append(prof.Apps, AppPerf{
+		Name:      "serve-mix",
+		ElapsedNS: srvRep.ElapsedNS,
+		Metrics:   srvEng.MergedRegistry().Flatten(),
 	})
 	// Per-hop bandwidth is a last-value gauge: the final sub-chunk's size
 	// (and so its instantaneous rate) shifts with any resizing rework even

@@ -17,15 +17,23 @@ func perfProfile(t *testing.T) *PerfProfile {
 }
 
 // TestPerfSuiteShape checks the profile covers the three apps plus the
-// streamed-shard entry with real virtual time and a populated metric map.
+// streamed-shard and serve-mix entries with real virtual time and a
+// populated metric map.
 func TestPerfSuiteShape(t *testing.T) {
 	p := perfProfile(t)
-	if len(p.Apps) != len(Apps)+1 {
-		t.Fatalf("profile has %d apps, want %d", len(p.Apps), len(Apps)+1)
+	if len(p.Apps) != len(Apps)+2 {
+		t.Fatalf("profile has %d apps, want %d", len(p.Apps), len(Apps)+2)
 	}
-	stream := p.Apps[len(p.Apps)-1]
+	stream := p.Apps[len(p.Apps)-2]
 	if stream.Name != "stream-overlap" {
-		t.Fatalf("last profile entry %q, want stream-overlap", stream.Name)
+		t.Fatalf("fourth profile entry %q, want stream-overlap", stream.Name)
+	}
+	srv := p.Apps[len(p.Apps)-1]
+	if srv.Name != "serve-mix" {
+		t.Fatalf("last profile entry %q, want serve-mix", srv.Name)
+	}
+	if srv.Metrics[`northup_serve_completed_total{tenant="interactive"}`] <= 0 {
+		t.Fatal("serve-mix entry carries no tenant completion counters")
 	}
 	if stream.Metrics["northup_stream_subchunks_total"] < 3 {
 		t.Fatalf("stream entry moved %v sub-chunks, want adaptive >= 3",

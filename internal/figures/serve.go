@@ -1,0 +1,167 @@
+package figures
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// The serve figure: a saturation sweep over the multi-tenant traffic
+// engine. A fixed two-tenant scenario is replayed at increasing arrival
+// rates (0.25x .. 8x the base offered load) and each point records the
+// admitted/rejected split, completed throughput and the worst tenant's
+// latency percentiles. The knee — where completions stop tracking offered
+// load and rejections plus tail latency take off — is the serving-capacity
+// figure of merit for the shared topology tree.
+
+// serveSchema versions the sweep document (BENCH_serve.json).
+const serveSchema = "northup-serve-sweep/v1"
+
+// serveRateMuls are the offered-load multipliers swept, log-spaced around
+// the knee.
+var serveRateMuls = []float64{0.25, 0.5, 1, 2, 4, 8}
+
+// serveBaseScenario is the fixed workload under sweep: two tenants over
+// the SSD APU tree, covering all four job kinds, bounded by a virtual-time
+// horizon so offered load scales purely with the rate multiplier. The
+// shape is deliberately scale-independent — serve jobs are small and the
+// sweep's knee comes from worker and quota contention, not input sizing.
+func serveBaseScenario(mul float64) *serve.Scenario {
+	return &serve.Scenario{
+		Name:     "saturation",
+		Seed:     1,
+		Duration: sim.Time(2 * time.Second),
+		Workers:  2,
+		Topology: serve.TopoSpec{Preset: "apu-ssd", StorageMiB: 512, DRAMMiB: 64},
+		Tenants: []serve.Tenant{
+			{
+				Name: "batch", Rate: 40 * mul, Weight: 1, QuotaMiB: 24,
+				SLO: sim.Time(40 * time.Millisecond),
+				Mix: []serve.MixEntry{
+					{Workload: serve.WorkloadGEMM, N: 512},
+					{Workload: serve.WorkloadSort, N: 200_000},
+				},
+			},
+			{
+				Name: "interactive", Rate: 100 * mul, Weight: 3, QuotaMiB: 8,
+				SLO: sim.Time(10 * time.Millisecond),
+				Mix: []serve.MixEntry{
+					{Workload: serve.WorkloadSpMV, N: 16384},
+					{Workload: serve.WorkloadHotSpot, N: 64, Iters: 4},
+				},
+			},
+		},
+	}
+}
+
+// ServePoint is one offered-load level of the sweep.
+type ServePoint struct {
+	// RateMul is the multiplier applied to every tenant's base rate.
+	RateMul float64 `json:"rate_mul"`
+	// OfferedJPS is the aggregate offered arrival rate in jobs/s.
+	OfferedJPS float64 `json:"offered_jps"`
+	Arrivals   int64   `json:"arrivals"`
+	Admitted   int64   `json:"admitted"`
+	// Rejected counts admission-control drops (quota plus backlog).
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	// ThroughputJPS is completions per virtual second.
+	ThroughputJPS float64 `json:"throughput_jps"`
+	// P50NS/P99NS are the worst tenant's latency percentiles (virtual ns):
+	// the SLO view of the most-affected tenant at this load.
+	P50NS int64 `json:"p50_ns"`
+	P99NS int64 `json:"p99_ns"`
+	// SLOViolations counts completions past their tenant's SLO.
+	SLOViolations int64 `json:"slo_violations"`
+}
+
+// ServeResult is the rendered sweep.
+type ServeResult struct {
+	Schema   string       `json:"schema"`
+	Scenario string       `json:"scenario"`
+	Points   []ServePoint `json:"points"`
+}
+
+// ServeSaturation runs the saturation sweep in phantom mode.
+func ServeSaturation(o Options) (*ServeResult, error) {
+	if _, err := o.norm(); err != nil {
+		return nil, err
+	}
+	res := &ServeResult{Schema: serveSchema, Scenario: "saturation"}
+	for _, mul := range serveRateMuls {
+		scn := serveBaseScenario(mul)
+		eng, err := serve.New(scn, serve.RunOptions{Phantom: true})
+		if err != nil {
+			return nil, fmt.Errorf("figures: serve sweep %gx: %w", mul, err)
+		}
+		rep, err := eng.Run()
+		if err != nil {
+			return nil, fmt.Errorf("figures: serve sweep %gx: %w", mul, err)
+		}
+		pt := ServePoint{RateMul: mul}
+		for _, t := range scn.Tenants {
+			pt.OfferedJPS += t.Rate
+		}
+		for _, t := range rep.Tenants {
+			pt.Arrivals += t.Arrivals
+			pt.Admitted += t.Admitted
+			for _, n := range t.Rejected {
+				pt.Rejected += n
+			}
+			pt.Completed += t.Completed
+			pt.SLOViolations += t.SLOViolations
+			if t.P50NS > pt.P50NS {
+				pt.P50NS = t.P50NS
+			}
+			if t.P99NS > pt.P99NS {
+				pt.P99NS = t.P99NS
+			}
+		}
+		if rep.ElapsedNS > 0 {
+			pt.ThroughputJPS = float64(pt.Completed) / (float64(rep.ElapsedNS) / 1e9)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// String renders the sweep as a table (the Renderer contract).
+func (r *ServeResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "serve saturation sweep (%s): %d point(s)\n", r.Scenario, len(r.Points))
+	fmt.Fprintf(&sb, "%6s %9s %8s %8s %8s %9s %12s %12s %6s\n",
+		"mul", "offered", "arrived", "admit", "reject", "thru/s", "p50", "p99", "slo!")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "%6.2f %9.1f %8d %8d %8d %9.1f %12v %12v %6d\n",
+			p.RateMul, p.OfferedJPS, p.Arrivals, p.Admitted, p.Rejected,
+			p.ThroughputJPS, sim.Time(p.P50NS), sim.Time(p.P99NS), p.SLOViolations)
+	}
+	return sb.String()
+}
+
+// CSV renders one row per sweep point (the Renderer contract).
+func (r *ServeResult) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("rate_mul,offered_jps,arrivals,admitted,rejected,completed,throughput_jps,p50_ns,p99_ns,slo_violations\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "%g,%g,%d,%d,%d,%d,%g,%d,%d,%d\n",
+			p.RateMul, p.OfferedJPS, p.Arrivals, p.Admitted, p.Rejected,
+			p.Completed, p.ThroughputJPS, p.P50NS, p.P99NS, p.SLOViolations)
+	}
+	return sb.String()
+}
+
+// JSON renders the committed BENCH_serve.json document.
+func (r *ServeResult) JSON() string {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("figures: marshaling serve sweep: %v", err))
+	}
+	return string(data) + "\n"
+}
+
+var _ Renderer = (*ServeResult)(nil)

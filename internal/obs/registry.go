@@ -134,12 +134,16 @@ type Histogram struct {
 	counts []int64 // len(bounds)+1; last is the +Inf bucket
 	sum    int64
 	n      int64
+	max    int64 // largest observation; bounds Quantile's +Inf bucket
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v int64) {
 	h.sum += v
 	h.n++
+	if v > h.max {
+		h.max = v
+	}
 	for i, b := range h.bounds {
 		if v <= b {
 			h.counts[i]++
@@ -155,8 +159,47 @@ func (h *Histogram) Sum() int64 { return h.sum }
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.n }
 
+// Max returns the largest observation (0 before any Observe).
+func (h *Histogram) Max() int64 { return h.max }
+
 // Bounds returns the bucket upper bounds (without +Inf).
 func (h *Histogram) Bounds() []int64 { return append([]int64(nil), h.bounds...) }
+
+// Quantile returns the q-quantile (q in [0,1]) as the upper bound of the
+// bucket where the cumulative count reaches ceil(q*n): a deterministic,
+// merge-stable estimate with bucket-granularity resolution, which is how
+// per-tenant latency percentiles (p50/p99) are reported from fixed-bucket
+// histograms. Observations beyond the last bound resolve to Max(). Returns
+// 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.n))
+	if float64(rank) < q*float64(h.n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		if cum >= rank {
+			if b > h.max {
+				return h.max
+			}
+			return b
+		}
+	}
+	return h.max
+}
 
 // metric is one registered instrument.
 type metric struct {
@@ -335,6 +378,9 @@ func (r *Registry) mergeOne(full string, om *metric, fam *family) {
 		}
 		m.h.sum += om.h.sum
 		m.h.n += om.h.n
+		if om.h.max > m.h.max {
+			m.h.max = om.h.max
+		}
 	}
 }
 

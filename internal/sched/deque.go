@@ -27,6 +27,13 @@ type Deque[T any] struct {
 	// successful PopTail and StealHead — the hooks tracing and metrics use
 	// to timestamp queue activity and maintain live depth gauges. Nil (the
 	// default) costs one branch.
+	//
+	// Contract: each hook fires after the deque's own state is updated, so
+	// Len() observed inside a hook reflects the operation. Hooks belong to
+	// one deque and one scheduler; when several concurrent schedulers share
+	// a node-level aggregate (a depth gauge), each must publish through its
+	// own additive slot (core.Runtime.NewQueueDepthSlot) rather than writing
+	// an absolute total, or concurrent jobs clobber each other's value.
 	OnPush  func()
 	OnPop   func()
 	OnSteal func()
@@ -85,6 +92,17 @@ func (d *Deque[T]) PopTail() (T, bool) {
 		d.OnPop()
 	}
 	return t, true
+}
+
+// PeekHead returns the oldest task without removing it — what an
+// admission-control dispatcher needs to test a queue's head against a
+// quota before committing to take it.
+func (d *Deque[T]) PeekHead() (T, bool) {
+	var zero T
+	if d.n == 0 {
+		return zero, false
+	}
+	return d.buf[d.head], true
 }
 
 // StealHead removes the oldest task; the thief's path.

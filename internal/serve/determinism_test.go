@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/obs"
+)
+
+// detScenario is the determinism suite's 2-tenant workload: every job kind
+// appears, both tenants stop on MaxJobs so runs are finite without a
+// duration horizon.
+func detScenario(seed int64) *Scenario {
+	scn := &Scenario{
+		Name:    "det",
+		Seed:    seed,
+		Workers: 2,
+		Topology: TopoSpec{
+			Preset:     "apu-ssd",
+			StorageMiB: 256,
+			DRAMMiB:    64,
+		},
+		Tenants: []Tenant{
+			{Name: "a", Rate: 200, QuotaMiB: 16, MaxJobs: 6, Mix: []MixEntry{
+				{Workload: WorkloadGEMM, N: 128},
+				{Workload: WorkloadSort, N: 5000},
+			}},
+			{Name: "b", Rate: 100, Weight: 2, QuotaMiB: 8, MaxJobs: 5, Mix: []MixEntry{
+				{Workload: WorkloadSpMV, N: 2000},
+				{Workload: WorkloadHotSpot, N: 32, Iters: 2},
+			}},
+		},
+	}
+	scn.applyDefaults()
+	return scn
+}
+
+// detRun executes a scenario and returns every observable surface: report
+// JSON, per-tenant metrics JSON, merged metrics JSON and job records.
+func detRun(t *testing.T, scn *Scenario, phantom bool) (report, tenantA, merged []byte, recs []JobRecord) {
+	t.Helper()
+	e, err := New(scn, RunOptions{Phantom: phantom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var repBuf, aBuf, mBuf bytes.Buffer
+	if err := rep.WriteJSON(&repBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.TenantRegistry("a").WriteJSON(&aBuf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.MergedRegistry().WriteJSON(&mBuf, nil); err != nil {
+		t.Fatal(err)
+	}
+	return repBuf.Bytes(), aBuf.Bytes(), mBuf.Bytes(), e.Records()
+}
+
+// TestSameSeedByteIdentical is the DSL's core determinism promise as a
+// testing/quick property: for any seed, running the same scenario twice
+// produces byte-identical per-tenant metrics JSON, report JSON and job
+// records.
+func TestSameSeedByteIdentical(t *testing.T) {
+	prop := func(seed int16) bool {
+		scn := detScenario(int64(seed))
+		rep1, ten1, mer1, recs1 := detRun(t, scn, true)
+		rep2, ten2, mer2, recs2 := detRun(t, scn, true)
+		return bytes.Equal(rep1, rep2) &&
+			bytes.Equal(ten1, ten2) &&
+			bytes.Equal(mer1, mer2) &&
+			reflect.DeepEqual(recs1, recs2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhantomMatchesFunctionalTiming checks serve inherits the runtime's
+// phantom guarantee: a timing-only run and a functional run of the same
+// scenario+seed agree on every job's arrival, start and completion time —
+// only result hashes differ.
+func TestPhantomMatchesFunctionalTiming(t *testing.T) {
+	scn := detScenario(11)
+	_, _, _, phRecs := detRun(t, scn, true)
+	_, _, _, fnRecs := detRun(t, scn, false)
+	if len(phRecs) != len(fnRecs) {
+		t.Fatalf("record counts differ: phantom %d, functional %d", len(phRecs), len(fnRecs))
+	}
+	for i := range phRecs {
+		p, f := phRecs[i], fnRecs[i]
+		p.Hash, f.Hash = 0, 0
+		if !reflect.DeepEqual(p, f) {
+			t.Fatalf("record %d diverges:\nphantom    %+v\nfunctional %+v", i, p, f)
+		}
+	}
+}
+
+// TestFunctionalHashesDeterministic pins the bit-exactness of functional
+// results: same scenario+seed reproduces identical per-job output hashes.
+func TestFunctionalHashesDeterministic(t *testing.T) {
+	scn := detScenario(3)
+	_, _, _, r1 := detRun(t, scn, false)
+	_, _, _, r2 := detRun(t, scn, false)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("functional records diverge:\n%+v\n%+v", r1, r2)
+	}
+	hashes := 0
+	for _, r := range r1 {
+		if r.Hash != 0 {
+			hashes++
+		}
+	}
+	if hashes == 0 {
+		t.Fatal("no functional job produced a result hash")
+	}
+}
+
+// TestMergedMetricsOrderIndependent holds serve's multi-queue metric
+// merging to the same law as Cluster.MergedMetrics: obs merge is
+// associative and commutative, so merging the runtime registry and the
+// tenant registries in any order yields identical output.
+func TestMergedMetricsOrderIndependent(t *testing.T) {
+	scn := detScenario(21)
+	e, err := New(scn, RunOptions{Phantom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Forward order: runtime registry, then tenants a, b.
+	forward := e.MergedRegistry()
+	// Reverse order: tenant b, tenant a, runtime registry last.
+	reverse := obs.NewRegistry()
+	reverse.Merge(e.TenantRegistry("b"))
+	reverse.Merge(e.TenantRegistry("a"))
+	reverse.Merge(e.Runtime().Metrics())
+	var fw, rv bytes.Buffer
+	if err := forward.WritePrometheus(&fw); err != nil {
+		t.Fatal(err)
+	}
+	if err := reverse.WritePrometheus(&rv); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fw.Bytes(), rv.Bytes()) {
+		t.Fatalf("merge order changed the merged registry:\n--- forward ---\n%s\n--- reverse ---\n%s", fw.String(), rv.String())
+	}
+}

@@ -1,0 +1,445 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// RunOptions tunes one engine run.
+type RunOptions struct {
+	// Phantom runs timing-only: buffers carry no payload bytes and job
+	// result hashes fingerprint unwritten (all-zero) files. Latencies are
+	// bit-identical to a functional run.
+	Phantom bool
+}
+
+// JobRecord is the per-job outcome log, in completion order. Tests use it
+// to compare runs job-by-job (bit-exact hashes, exact virtual timestamps).
+type JobRecord struct {
+	Tenant   string `json:"tenant"`
+	ID       int    `json:"id"`
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	ArriveNS int64  `json:"arrive_ns"`
+	StartNS  int64  `json:"start_ns"`
+	DoneNS   int64  `json:"done_ns"`
+	Hash     uint64 `json:"hash"`
+	Err      string `json:"err,omitempty"`
+}
+
+// latencyBuckets are the fixed serve histogram bounds (ns): 100µs to 100s
+// in a 1-2-5 ladder, so percentile extraction is deterministic and merges
+// stay associative.
+var latencyBuckets = []int64{
+	100e3, 200e3, 500e3,
+	1e6, 2e6, 5e6,
+	10e6, 20e6, 50e6,
+	100e6, 200e6, 500e6,
+	1e9, 2e9, 5e9,
+	10e9, 20e9, 50e9,
+	100e9,
+}
+
+// tenantState is one tenant's live serving state plus its private metrics
+// registry (merged on demand by MergedRegistry).
+type tenantState struct {
+	idx  int
+	spec *Tenant
+	reg  *obs.Registry
+	q    *sched.Deque[*job]
+	rng  *rand.Rand
+
+	quota    int64   // staging quota in bytes
+	inflight int64   // footprint of dispatched, unfinished jobs
+	vft      float64 // weighted-fair-queueing virtual finish time
+	mixCum   []float64
+	jobSeq   int
+
+	arrivals   *obs.Counter
+	admitted   *obs.Counter
+	rejQuota   *obs.Counter
+	rejBacklog *obs.Counter
+	completed  *obs.Counter
+	jobErrors  *obs.Counter
+	sloViol    *obs.Counter
+	latHist    *obs.Histogram
+	waitHist   *obs.Histogram
+	depthG     *obs.Gauge
+	inflightG  *obs.Gauge
+
+	depthSlot *core.QueueDepthSlot
+}
+
+// Engine executes one scenario: per-tenant Poisson admitters feed
+// per-tenant FIFO queues, and a fixed pool of dispatch workers drains them
+// by weighted-fair queueing, running each admitted job as a root task on
+// the one shared runtime.
+type Engine struct {
+	scn  *Scenario
+	opts RunOptions
+
+	eng  *sim.Engine
+	tree *topo.Tree
+	rt   *core.Runtime
+	dram *topo.Node
+
+	tenants []*tenantState
+	runReg  *obs.Registry // the shared runtime's own registry
+
+	idle         []*sim.Latch // parked dispatch workers
+	arrivalsOpen int
+	outstanding  int // admitted but not yet finished jobs
+
+	records []JobRecord
+	ran     bool
+}
+
+// New builds an engine for a scenario. Defaults are applied to a private
+// copy first, so the caller's scenario is not mutated and may be reused
+// across engines.
+func New(scn *Scenario, opts RunOptions) (*Engine, error) {
+	scn = scn.withDefaults()
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	storage := topo.SSD
+	if scn.Topology.Preset == "apu-hdd" {
+		storage = topo.HDD
+	}
+	tree := topo.APU(eng, topo.APUConfig{
+		Storage:    storage,
+		StorageMiB: scn.Topology.StorageMiB,
+		DRAMMiB:    scn.Topology.DRAMMiB,
+		WithCPU:    true,
+	})
+	runReg := obs.NewRegistry()
+	rt := core.NewRuntime(eng, tree, core.Options{
+		Phantom: opts.Phantom,
+		Metrics: runReg,
+	})
+	e := &Engine{
+		scn:    scn,
+		opts:   opts,
+		eng:    eng,
+		tree:   tree,
+		rt:     rt,
+		dram:   tree.Node(1),
+		runReg: runReg,
+	}
+	for i := range scn.Tenants {
+		e.tenants = append(e.tenants, e.newTenantState(i, &scn.Tenants[i]))
+	}
+	return e, nil
+}
+
+// tenantSeed derives a tenant's RNG seed from the scenario seed and the
+// tenant's name (not its position, so reordering tenants in the file does
+// not change anyone's traffic).
+func tenantSeed(scnSeed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return scnSeed ^ int64(h.Sum64())
+}
+
+func (e *Engine) newTenantState(idx int, spec *Tenant) *tenantState {
+	reg := obs.NewRegistry()
+	lbl := obs.L("tenant", spec.Name)
+	t := &tenantState{
+		idx:   idx,
+		spec:  spec,
+		reg:   reg,
+		q:     sched.NewDeque[*job]("serve-" + spec.Name),
+		rng:   rand.New(rand.NewSource(tenantSeed(e.scn.Seed, spec.Name))),
+		quota: spec.QuotaBytes(),
+
+		arrivals:   reg.Counter("northup_serve_arrivals_total", "jobs offered by the tenant's arrival process", lbl),
+		admitted:   reg.Counter("northup_serve_admitted_total", "jobs accepted into the tenant's queue", lbl),
+		rejQuota:   reg.Counter("northup_serve_rejected_total", "jobs rejected at admission", lbl, obs.L("reason", "quota")),
+		rejBacklog: reg.Counter("northup_serve_rejected_total", "jobs rejected at admission", lbl, obs.L("reason", "backlog")),
+		completed:  reg.Counter("northup_serve_completed_total", "jobs finished successfully", lbl),
+		jobErrors:  reg.Counter("northup_serve_job_errors_total", "jobs that failed while running", lbl),
+		sloViol:    reg.Counter("northup_serve_slo_violations_total", "completions slower than the tenant SLO", lbl),
+		latHist:    reg.Histogram("northup_serve_latency_ns", "arrival-to-completion latency", latencyBuckets, lbl),
+		waitHist:   reg.Histogram("northup_serve_wait_ns", "arrival-to-dispatch queueing delay", latencyBuckets, lbl),
+		depthG:     reg.Gauge("northup_serve_queue_depth", "admitted jobs waiting for dispatch", lbl),
+		inflightG:  reg.Gauge("northup_serve_inflight_bytes", "staging footprint of running jobs", lbl),
+	}
+	// Weight prefix sums for mix draws.
+	cum := 0.0
+	for _, m := range spec.Mix {
+		cum += m.Weight
+		t.mixCum = append(t.mixCum, cum)
+	}
+	// The tenant queue publishes its depth both as a tenant-labelled serve
+	// gauge and — through an additive slot — into the shared runtime's
+	// per-node northup_queue_depth, alongside any in-job stealing queues.
+	t.depthSlot = e.rt.NewQueueDepthSlot(e.dram.ID)
+	depth := func() {
+		t.depthG.Set(float64(t.q.Len()))
+		t.depthSlot.Set(int64(t.q.Len()))
+	}
+	t.q.OnPush = depth
+	t.q.OnPop = depth
+	t.q.OnSteal = depth
+	return t
+}
+
+// pickMix draws one mix entry by weight from the tenant RNG.
+func (t *tenantState) pickMix() MixEntry {
+	total := t.mixCum[len(t.mixCum)-1]
+	x := t.rng.Float64() * total
+	for i, c := range t.mixCum {
+		if x < c {
+			return t.spec.Mix[i]
+		}
+	}
+	return t.spec.Mix[len(t.spec.Mix)-1]
+}
+
+// Run executes the scenario to completion — every tenant's arrival process
+// exhausted and every admitted job finished — and returns the report.
+// An Engine runs once.
+func (e *Engine) Run() (*Report, error) {
+	if e.ran {
+		return nil, fmt.Errorf("serve: engine already ran")
+	}
+	e.ran = true
+
+	// Tenant queues are visible on the staging node for the lifetime of
+	// the run, next to any queues the jobs themselves attach.
+	var monitors []sched.Monitor
+	for _, t := range e.tenants {
+		monitors = append(monitors, t.q)
+	}
+	detach := e.dram.AttachQueues(monitors...)
+	defer detach()
+
+	e.arrivalsOpen = len(e.tenants)
+	for _, t := range e.tenants {
+		t := t
+		e.eng.Spawn("serve-arrivals:"+t.spec.Name, func(p *sim.Proc) {
+			e.runArrivals(p, t)
+		})
+	}
+	for w := 0; w < e.scn.Workers; w++ {
+		w := w
+		e.eng.Spawn(fmt.Sprintf("serve-worker-%d", w), func(p *sim.Proc) {
+			e.runWorker(p)
+		})
+	}
+	if err := e.eng.Run(); err != nil {
+		return nil, fmt.Errorf("serve: scenario %q: %w", e.scn.Name, err)
+	}
+	e.rt.SyncMetrics()
+	for _, t := range e.tenants {
+		t.depthSlot.Close()
+	}
+	return e.buildReport(), nil
+}
+
+// runArrivals is one tenant's open-loop Poisson arrival process.
+func (e *Engine) runArrivals(p *sim.Proc, t *tenantState) {
+	defer func() {
+		e.arrivalsOpen--
+		if e.arrivalsOpen == 0 {
+			e.wakeAll()
+		}
+	}()
+	count := 0
+	for {
+		if t.spec.MaxJobs > 0 && count >= t.spec.MaxJobs {
+			return
+		}
+		dt := sim.Time(t.rng.ExpFloat64() / t.spec.Rate * float64(sim.Second))
+		if e.scn.Duration > 0 && p.Now()+dt > e.scn.Duration {
+			return
+		}
+		p.Sleep(dt)
+		count++
+		e.admit(p, t)
+	}
+}
+
+// admit runs admission control for one arrival: plan the job against the
+// tenant quota, apply the backlog cap, and enqueue or reject.
+func (e *Engine) admit(p *sim.Proc, t *tenantState) {
+	t.arrivals.Inc()
+	mix := t.pickMix()
+	seed := t.rng.Int63()
+	plan, err := planJob(mix, t.quota)
+	if err != nil {
+		t.rejQuota.Inc()
+		return
+	}
+	if t.q.Len() >= t.spec.MaxQueue {
+		t.rejBacklog.Inc()
+		return
+	}
+	jb := &job{
+		tenant: t.spec.Name,
+		id:     t.jobSeq,
+		mix:    mix,
+		seed:   seed,
+		arrive: p.Now(),
+		plan:   plan,
+	}
+	t.jobSeq++
+	t.admitted.Inc()
+	t.q.PushTail(jb)
+	e.outstanding++
+	e.wakeOne()
+}
+
+// pickJob selects the next dispatchable job: among tenants whose oldest
+// queued job fits their remaining quota, the one with the smallest
+// weighted-fair virtual finish time (ties to the lowest tenant index).
+// Per-tenant order is strictly FIFO — a head that does not fit holds the
+// tenant back until in-flight work retires.
+func (e *Engine) pickJob() (*tenantState, *job) {
+	var best *tenantState
+	for _, t := range e.tenants {
+		head, ok := t.q.PeekHead()
+		if !ok || t.inflight+head.plan.Footprint > t.quota {
+			continue
+		}
+		if best == nil || t.vft < best.vft {
+			best = t
+		}
+	}
+	if best == nil {
+		return nil, nil
+	}
+	jb, _ := best.q.StealHead()
+	return best, jb
+}
+
+// runWorker is one dispatch slot: it drains queues by WFQ order, parking
+// on a latch when nothing is dispatchable.
+func (e *Engine) runWorker(p *sim.Proc) {
+	for {
+		t, jb := e.pickJob()
+		if jb == nil {
+			if e.arrivalsOpen == 0 && e.outstanding == 0 {
+				return
+			}
+			l := sim.NewLatch(e.eng)
+			e.idle = append(e.idle, l)
+			l.Wait(p)
+			continue
+		}
+		e.dispatch(p, t, jb)
+	}
+}
+
+// dispatch charges the tenant's WFQ account, runs the job as a root task
+// on the shared runtime, and settles metrics and records at completion.
+func (e *Engine) dispatch(p *sim.Proc, t *tenantState, jb *job) {
+	t.inflight += jb.plan.Footprint
+	t.inflightG.Set(float64(t.inflight))
+	t.vft += float64(jb.plan.WorkBytes) / t.spec.Weight
+
+	start := p.Now()
+	t.waitHist.Observe(int64(start - jb.arrive))
+
+	body := jb.body(e)
+	var hash uint64
+	name := fmt.Sprintf("serve:%s-j%04d-%s", jb.tenant, jb.id, jb.mix.Workload)
+	join := e.rt.Start(name, func(c *core.Ctx) error {
+		h, err := body(c)
+		hash = h
+		return err
+	})
+	err := join.WaitOn(p)
+	done := p.Now()
+
+	lat := int64(done - jb.arrive)
+	t.latHist.Observe(lat)
+	if err != nil {
+		t.jobErrors.Inc()
+	} else {
+		t.completed.Inc()
+		if t.spec.SLO > 0 && lat > int64(t.spec.SLO) {
+			t.sloViol.Inc()
+		}
+	}
+	rec := JobRecord{
+		Tenant:   jb.tenant,
+		ID:       jb.id,
+		Workload: jb.mix.Workload,
+		N:        jb.mix.N,
+		ArriveNS: int64(jb.arrive),
+		StartNS:  int64(start),
+		DoneNS:   int64(done),
+		Hash:     hash,
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	e.records = append(e.records, rec)
+
+	t.inflight -= jb.plan.Footprint
+	t.inflightG.Set(float64(t.inflight))
+	e.outstanding--
+	// Retired footprint may unblock any tenant's head (and the drain
+	// condition), so every parked worker gets to re-evaluate.
+	e.wakeAll()
+}
+
+// wakeOne releases one parked worker, if any.
+func (e *Engine) wakeOne() {
+	if n := len(e.idle); n > 0 {
+		l := e.idle[n-1]
+		e.idle = e.idle[:n-1]
+		l.Fire()
+	}
+}
+
+// wakeAll releases every parked worker.
+func (e *Engine) wakeAll() {
+	idle := e.idle
+	e.idle = nil
+	for _, l := range idle {
+		l.Fire()
+	}
+}
+
+// Records returns the per-job outcome log in completion order.
+func (e *Engine) Records() []JobRecord { return e.records }
+
+// Runtime exposes the shared runtime (tests inspect its metrics registry).
+func (e *Engine) Runtime() *core.Runtime { return e.rt }
+
+// Now returns the engine's current virtual time.
+func (e *Engine) Now() sim.Time { return e.eng.Now() }
+
+// MergedRegistry merges the shared runtime's registry and every tenant's
+// registry into one fresh registry, in deterministic (tenant declaration)
+// order. obs merging is associative and commutative, so any merge order
+// yields the same totals — the determinism property test holds serve to
+// that, mirroring Cluster.MergedMetrics.
+func (e *Engine) MergedRegistry() *obs.Registry {
+	m := obs.NewRegistry()
+	m.Merge(e.runReg)
+	for _, t := range e.tenants {
+		m.Merge(t.reg)
+	}
+	return m
+}
+
+// TenantRegistry returns the named tenant's private registry, or nil.
+func (e *Engine) TenantRegistry(name string) *obs.Registry {
+	for _, t := range e.tenants {
+		if t.spec.Name == name {
+			return t.reg
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseScenario holds ParseScenario to its contract: arbitrary input —
+// malformed YAML, negative rates, zero quotas, unknown workload names,
+// binary garbage — must produce an error or a scenario that passes
+// Validate, and must never panic.
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(sampleYAML))
+	f.Add([]byte(`{"name":"j","duration":"1s","tenants":[{"name":"t","rate":1,"quota_mib":1,"mix":[{"workload":"sort","n":10}]}]}`))
+	f.Add([]byte("name: x\nduration: 1s\ntenants:\n  - name: a\n    rate: -5/s\n    quota_mib: 0\n    mix:\n      - workload: nope\n        n: 10\n"))
+	f.Add([]byte("tenants:\n\t- bad tab\n"))
+	f.Add([]byte("- just\n- a\n- list\n"))
+	f.Add([]byte("key: [flow, style]\n"))
+	f.Add([]byte("a:\n  b:\n    c: 'unterminated\n"))
+	f.Add([]byte("name: \"esc\\q\"\n"))
+	f.Add([]byte("\xff\xfe\x00 binary"))
+	f.Add([]byte("{"))
+	f.Add([]byte("name: x\nname: y\n"))
+	f.Add([]byte("rate: 1e309\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scn, err := ParseScenario(data)
+		if err != nil {
+			if scn != nil {
+				t.Fatalf("error %v returned alongside a scenario", err)
+			}
+			return
+		}
+		// Whatever parses must already be valid and re-validate cleanly.
+		if verr := scn.Validate(); verr != nil {
+			t.Fatalf("parsed scenario fails Validate: %v", verr)
+		}
+		for _, tn := range scn.Tenants {
+			if tn.Rate <= 0 || tn.QuotaMiB <= 0 {
+				t.Fatalf("invalid tenant escaped validation: %+v", tn)
+			}
+			for _, m := range tn.Mix {
+				switch m.Workload {
+				case WorkloadGEMM, WorkloadSpMV, WorkloadHotSpot, WorkloadSort:
+				default:
+					t.Fatalf("unknown workload escaped validation: %q", m.Workload)
+				}
+			}
+		}
+		if strings.TrimSpace(scn.Name) == "" {
+			t.Fatalf("unnamed scenario escaped validation")
+		}
+	})
+}

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ParseScenario decodes a scenario written in the DSL. The front end is
+// chosen by sniffing: documents whose first non-space byte is '{' are JSON,
+// everything else is the YAML subset (yaml.go). Both decode to the same
+// generic tree, which is then typed strictly against the schema — unknown
+// keys, wrong shapes, malformed rates/durations, and semantic violations
+// (negative rates, zero quotas, unknown workload names, ...) all return
+// errors. ParseScenario never panics; the fuzz tier holds it to that.
+func ParseScenario(data []byte) (*Scenario, error) {
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	if trimmed == "" {
+		return nil, fmt.Errorf("serve: empty scenario document")
+	}
+	var (
+		tree any
+		err  error
+	)
+	if trimmed[0] == '{' {
+		dec := json.NewDecoder(strings.NewReader(trimmed))
+		if err = dec.Decode(&tree); err != nil {
+			return nil, fmt.Errorf("serve: bad JSON scenario: %w", err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("serve: trailing data after JSON scenario")
+		}
+	} else {
+		if tree, err = decodeYAML(data); err != nil {
+			return nil, fmt.Errorf("serve: bad scenario: %w", err)
+		}
+	}
+	scn, err := scenarioFromTree(tree)
+	if err != nil {
+		return nil, err
+	}
+	scn.applyDefaults()
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	return scn, nil
+}
+
+// field accessors over the generic tree -------------------------------------
+
+// fields wraps one decoded mapping and tracks which keys the schema read,
+// so leftovers can be rejected by name.
+type fields struct {
+	path string
+	m    map[string]any
+	used map[string]bool
+}
+
+func asFields(path string, v any) (*fields, error) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("serve: %s: expected a mapping, got %s", path, treeKind(v))
+	}
+	return &fields{path: path, m: m, used: map[string]bool{}}, nil
+}
+
+func (f *fields) get(key string) (any, bool) {
+	v, ok := f.m[key]
+	if ok {
+		f.used[key] = true
+	}
+	return v, ok
+}
+
+// finish errors on any key the schema never consumed.
+func (f *fields) finish() error {
+	var unknown []string
+	for k := range f.m {
+		if !f.used[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	return fmt.Errorf("serve: %s: unknown key %q", f.path, unknown[0])
+}
+
+func treeKind(v any) string {
+	switch v.(type) {
+	case nil:
+		return "nothing"
+	case map[string]any:
+		return "a mapping"
+	case []any:
+		return "a list"
+	case string:
+		return "a string"
+	case float64, bool:
+		return "a scalar"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+// scalarString renders a scalar leaf (string from YAML; string, number or
+// bool from JSON) as its string form for uniform re-parsing.
+func scalarString(path string, v any) (string, error) {
+	switch x := v.(type) {
+	case string:
+		return x, nil
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64), nil
+	case bool:
+		return strconv.FormatBool(x), nil
+	default:
+		return "", fmt.Errorf("serve: %s: expected a scalar, got %s", path, treeKind(v))
+	}
+}
+
+func (f *fields) str(key string) (string, bool, error) {
+	v, ok := f.get(key)
+	if !ok {
+		return "", false, nil
+	}
+	s, err := scalarString(f.path+"."+key, v)
+	return s, err == nil, err
+}
+
+func (f *fields) intField(key string) (int64, bool, error) {
+	s, ok, err := f.str(key)
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		// JSON renders 3.0 as "3"; anything fractional genuinely fails.
+		fl, ferr := strconv.ParseFloat(s, 64)
+		if ferr != nil || fl != math.Trunc(fl) || math.Abs(fl) > math.MaxInt64/2 {
+			return 0, true, fmt.Errorf("serve: %s.%s: %q is not an integer", f.path, key, s)
+		}
+		n = int64(fl)
+	}
+	return n, true, nil
+}
+
+func (f *fields) floatField(key string) (float64, bool, error) {
+	s, ok, err := f.str(key)
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	fl, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(fl) || math.IsInf(fl, 0) {
+		return 0, true, fmt.Errorf("serve: %s.%s: %q is not a number", f.path, key, s)
+	}
+	return fl, true, nil
+}
+
+// rateField parses "120/s", "0.5/s" or a bare number (jobs per second).
+func (f *fields) rateField(key string) (float64, bool, error) {
+	s, ok, err := f.str(key)
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	num := strings.TrimSuffix(strings.TrimSpace(s), "/s")
+	fl, perr := strconv.ParseFloat(strings.TrimSpace(num), 64)
+	if perr != nil || math.IsNaN(fl) || math.IsInf(fl, 0) {
+		return 0, true, fmt.Errorf("serve: %s.%s: %q is not a rate (want e.g. \"10/s\")", f.path, key, s)
+	}
+	return fl, true, nil
+}
+
+// durationField parses Go duration syntax ("250ms", "2s") or a bare number
+// of seconds, into simulated nanoseconds.
+func (f *fields) durationField(key string) (sim.Time, bool, error) {
+	s, ok, err := f.str(key)
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	s = strings.TrimSpace(s)
+	if d, perr := time.ParseDuration(s); perr == nil {
+		return sim.Time(d.Nanoseconds()), true, nil
+	}
+	if fl, perr := strconv.ParseFloat(s, 64); perr == nil && !math.IsNaN(fl) && !math.IsInf(fl, 0) &&
+		math.Abs(fl) < math.MaxInt64/float64(sim.Second) {
+		return sim.Time(fl * float64(sim.Second)), true, nil
+	}
+	return 0, true, fmt.Errorf("serve: %s.%s: %q is not a duration (want e.g. \"250ms\" or seconds)", f.path, key, s)
+}
+
+func (f *fields) list(key string) ([]any, bool, error) {
+	v, ok := f.get(key)
+	if !ok {
+		return nil, false, nil
+	}
+	l, isList := v.([]any)
+	if !isList {
+		return nil, true, fmt.Errorf("serve: %s.%s: expected a list, got %s", f.path, key, treeKind(v))
+	}
+	return l, true, nil
+}
+
+// schema --------------------------------------------------------------------
+
+func scenarioFromTree(tree any) (*Scenario, error) {
+	f, err := asFields("scenario", tree)
+	if err != nil {
+		return nil, err
+	}
+	var scn Scenario
+	if scn.Name, _, err = f.str("name"); err != nil {
+		return nil, err
+	}
+	if seed, _, err := f.intField("seed"); err != nil {
+		return nil, err
+	} else {
+		scn.Seed = seed
+	}
+	if d, _, err := f.durationField("duration"); err != nil {
+		return nil, err
+	} else {
+		scn.Duration = d
+	}
+	if w, ok, err := f.intField("workers"); err != nil {
+		return nil, err
+	} else if ok {
+		if w < math.MinInt32 || w > math.MaxInt32 {
+			return nil, fmt.Errorf("serve: scenario.workers: %d out of range", w)
+		}
+		scn.Workers = int(w)
+	}
+	if tv, ok := f.get("topology"); ok {
+		if scn.Topology, err = topoFromTree(tv); err != nil {
+			return nil, err
+		}
+	}
+	tenants, ok, err := f.list("tenants")
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("serve: scenario has no tenants list")
+	}
+	for i, tv := range tenants {
+		t, err := tenantFromTree(fmt.Sprintf("tenants[%d]", i), tv)
+		if err != nil {
+			return nil, err
+		}
+		scn.Tenants = append(scn.Tenants, t)
+	}
+	if err := f.finish(); err != nil {
+		return nil, err
+	}
+	return &scn, nil
+}
+
+func topoFromTree(v any) (TopoSpec, error) {
+	var spec TopoSpec
+	f, err := asFields("topology", v)
+	if err != nil {
+		return spec, err
+	}
+	if spec.Preset, _, err = f.str("preset"); err != nil {
+		return spec, err
+	}
+	if spec.StorageMiB, _, err = f.intField("storage_mib"); err != nil {
+		return spec, err
+	}
+	if spec.DRAMMiB, _, err = f.intField("dram_mib"); err != nil {
+		return spec, err
+	}
+	return spec, f.finish()
+}
+
+func tenantFromTree(path string, v any) (Tenant, error) {
+	var t Tenant
+	f, err := asFields(path, v)
+	if err != nil {
+		return t, err
+	}
+	if t.Name, _, err = f.str("name"); err != nil {
+		return t, err
+	}
+	if t.Rate, _, err = f.rateField("rate"); err != nil {
+		return t, err
+	}
+	if t.Weight, _, err = f.floatField("weight"); err != nil {
+		return t, err
+	}
+	if t.QuotaMiB, _, err = f.intField("quota_mib"); err != nil {
+		return t, err
+	}
+	if t.SLO, _, err = f.durationField("slo"); err != nil {
+		return t, err
+	}
+	if mj, _, err := f.intField("max_jobs"); err != nil {
+		return t, err
+	} else if mj < 0 || mj > math.MaxInt32 {
+		return t, fmt.Errorf("serve: %s.max_jobs: %d out of range", path, mj)
+	} else {
+		t.MaxJobs = int(mj)
+	}
+	if mq, _, err := f.intField("max_queue"); err != nil {
+		return t, err
+	} else if mq < 0 || mq > math.MaxInt32 {
+		return t, fmt.Errorf("serve: %s.max_queue: %d out of range", path, mq)
+	} else {
+		t.MaxQueue = int(mq)
+	}
+	mix, ok, err := f.list("mix")
+	if err != nil {
+		return t, err
+	}
+	if ok {
+		for i, mv := range mix {
+			m, err := mixFromTree(fmt.Sprintf("%s.mix[%d]", path, i), mv)
+			if err != nil {
+				return t, err
+			}
+			t.Mix = append(t.Mix, m)
+		}
+	}
+	return t, f.finish()
+}
+
+func mixFromTree(path string, v any) (MixEntry, error) {
+	var m MixEntry
+	f, err := asFields(path, v)
+	if err != nil {
+		return m, err
+	}
+	if m.Workload, _, err = f.str("workload"); err != nil {
+		return m, err
+	}
+	if n, _, err := f.intField("n"); err != nil {
+		return m, err
+	} else if n < math.MinInt32 || n > math.MaxInt32 {
+		return m, fmt.Errorf("serve: %s.n: %d out of range", path, n)
+	} else {
+		m.N = int(n)
+	}
+	if it, _, err := f.intField("iters"); err != nil {
+		return m, err
+	} else if it < math.MinInt32 || it > math.MaxInt32 {
+		return m, fmt.Errorf("serve: %s.iters: %d out of range", path, it)
+	} else {
+		m.Iters = int(it)
+	}
+	if m.Weight, _, err = f.floatField("weight"); err != nil {
+		return m, err
+	}
+	return m, f.finish()
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+const sampleYAML = `
+# Two tenants sharing one APU tree.
+name: sample
+seed: 42
+duration: 500ms
+workers: 3
+topology:
+  preset: apu-hdd
+  storage_mib: 512
+  dram_mib: 128
+tenants:
+  - name: alpha
+    rate: 120/s
+    weight: 2
+    quota_mib: 24
+    slo: 20ms
+    mix:
+      - workload: gemm
+        n: 256
+      - workload: sort
+        n: 100000
+        weight: 3
+  - name: beta
+    rate: 0.5      # bare numbers are jobs/s too
+    quota_mib: 8
+    max_jobs: 9
+    max_queue: 4
+    mix:
+      - workload: hotspot
+        n: 64
+        iters: 2
+`
+
+func TestParseScenarioYAML(t *testing.T) {
+	scn, err := ParseScenario([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.Name != "sample" || scn.Seed != 42 || scn.Workers != 3 {
+		t.Fatalf("header mismatch: %+v", scn)
+	}
+	if scn.Duration != 500*sim.Millisecond {
+		t.Fatalf("duration = %d", scn.Duration)
+	}
+	if scn.Topology.Preset != "apu-hdd" || scn.Topology.DRAMMiB != 128 {
+		t.Fatalf("topology mismatch: %+v", scn.Topology)
+	}
+	if len(scn.Tenants) != 2 {
+		t.Fatalf("want 2 tenants, got %d", len(scn.Tenants))
+	}
+	a, b := scn.Tenants[0], scn.Tenants[1]
+	if a.Rate != 120 || a.Weight != 2 || a.SLO != 20*sim.Millisecond {
+		t.Fatalf("alpha mismatch: %+v", a)
+	}
+	if a.Mix[1].Weight != 3 || a.Mix[0].Weight != 1 {
+		t.Fatalf("mix weights: %+v", a.Mix)
+	}
+	if b.Rate != 0.5 || b.MaxJobs != 9 || b.MaxQueue != 4 {
+		t.Fatalf("beta mismatch: %+v", b)
+	}
+	if b.Weight != 1 || b.Mix[0].Iters != 2 {
+		t.Fatalf("beta defaults: %+v", b)
+	}
+}
+
+func TestParseScenarioDefaults(t *testing.T) {
+	scn, err := ParseScenario([]byte(`
+name: tiny
+duration: 1s
+tenants:
+  - name: only
+    rate: 1/s
+    quota_mib: 4
+    mix:
+      - workload: sort
+        n: 1000
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.Workers != 2 {
+		t.Fatalf("default workers = %d", scn.Workers)
+	}
+	if scn.Topology.Preset != "apu-ssd" || scn.Topology.StorageMiB != 1024 || scn.Topology.DRAMMiB != 256 {
+		t.Fatalf("default topology = %+v", scn.Topology)
+	}
+	if tn := scn.Tenants[0]; tn.Weight != 1 || tn.MaxQueue != 64 || tn.Mix[0].Weight != 1 {
+		t.Fatalf("tenant defaults = %+v", tn)
+	}
+}
+
+func TestParseScenarioJSON(t *testing.T) {
+	scn, err := ParseScenario([]byte(`{
+  "name": "json-sample",
+  "seed": 7,
+  "duration": "250ms",
+  "topology": {"preset": "apu-ssd", "dram_mib": 64},
+  "tenants": [
+    {"name": "a", "rate": "10/s", "quota_mib": 16,
+     "mix": [{"workload": "spmv", "n": 5000}]}
+  ]
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.Name != "json-sample" || scn.Duration != 250*sim.Millisecond {
+		t.Fatalf("mismatch: %+v", scn)
+	}
+	if scn.Tenants[0].Rate != 10 {
+		t.Fatalf("rate = %g", scn.Tenants[0].Rate)
+	}
+}
+
+// TestParseScenarioErrors drives every rejection class the DSL promises:
+// syntax, schema and semantic failures all return errors (and, per the
+// fuzz tier, never panic).
+func TestParseScenarioErrors(t *testing.T) {
+	base := func(mut func(s string) string) string {
+		return mut(`name: x
+duration: 1s
+tenants:
+  - name: a
+    rate: 10/s
+    quota_mib: 4
+    mix:
+      - workload: sort
+        n: 100
+`)
+	}
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty", "", "empty scenario"},
+		{"comment only", "# nothing\n", "empty document"},
+		{"tab indent", "name: x\n\ttenants:\n", "tabs"},
+		{"bad line", "name x\n", "key: value"},
+		{"duplicate key", "name: x\nname: y\n", "duplicate key"},
+		{"flow style", "tenants: [a, b]\n", "flow collections"},
+		{"unknown top key", base(func(s string) string { return s + "zone: z\n" }), `unknown key "zone"`},
+		{"unknown tenant key", strings.Replace(base(func(s string) string { return s }),
+			"rate: 10/s", "rate: 10/s\n    color: red", 1), `unknown key "color"`},
+		{"negative rate", strings.Replace(base(func(s string) string { return s }),
+			"rate: 10/s", "rate: -3/s", 1), "must be positive"},
+		{"bad rate", strings.Replace(base(func(s string) string { return s }),
+			"rate: 10/s", "rate: fast", 1), "not a rate"},
+		{"zero quota", strings.Replace(base(func(s string) string { return s }),
+			"quota_mib: 4", "quota_mib: 0", 1), "quota"},
+		{"unknown workload", strings.Replace(base(func(s string) string { return s }),
+			"workload: sort", "workload: raytrace", 1), "unknown workload"},
+		{"gemm misaligned", strings.Replace(base(func(s string) string { return s }),
+			"workload: sort", "workload: gemm", 1), "multiple of 64"},
+		{"no tenants", "name: x\nduration: 1s\ntenants:\n", "tenants"},
+		{"no horizon", strings.Replace(base(func(s string) string { return s }),
+			"duration: 1s", "duration: 0s", 1), "never stop"},
+		{"bad duration", strings.Replace(base(func(s string) string { return s }),
+			"duration: 1s", "duration: soon", 1), "not a duration"},
+		{"huge n", strings.Replace(base(func(s string) string { return s }),
+			"n: 100", "n: 99999999", 1), "ceiling"},
+		{"bad json", `{"name": 3 &&&`, "bad JSON"},
+		{"json trailing", `{"name": "x"} tail`, "trailing data"},
+		{"duplicate tenant", strings.Replace(base(func(s string) string { return s }),
+			"duration: 1s", "duration: 1s\nworkers: 2", 1) + `  - name: a
+    rate: 1/s
+    quota_mib: 4
+    mix:
+      - workload: sort
+        n: 10
+`, "duplicate tenant"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScenario([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("expected an error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestYAMLQuoting(t *testing.T) {
+	scn, err := ParseScenario([]byte(`
+name: "quoted # name"
+duration: '2s'
+tenants:
+  - name: 'it''s'
+    rate: "10/s"
+    quota_mib: 4
+    mix:
+      - workload: sort
+        n: 100
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.Name != "quoted # name" {
+		t.Fatalf("name = %q", scn.Name)
+	}
+	if scn.Duration != 2*sim.Second {
+		t.Fatalf("duration = %d", scn.Duration)
+	}
+	if scn.Tenants[0].Name != "it's" {
+		t.Fatalf("tenant name = %q", scn.Tenants[0].Name)
+	}
+}

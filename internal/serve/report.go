@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ReportSchema versions the serve report JSON.
+const ReportSchema = "northup-serve/v1"
+
+// TenantReport is one tenant's served-traffic summary.
+type TenantReport struct {
+	Name          string           `json:"name"`
+	Arrivals      int64            `json:"arrivals"`
+	Admitted      int64            `json:"admitted"`
+	Rejected      map[string]int64 `json:"rejected,omitempty"`
+	Completed     int64            `json:"completed"`
+	JobErrors     int64            `json:"job_errors"`
+	SLOViolations int64            `json:"slo_violations"`
+	P50NS         int64            `json:"p50_ns"`
+	P99NS         int64            `json:"p99_ns"`
+	MaxNS         int64            `json:"max_ns"`
+	MeanNS        int64            `json:"mean_ns"`
+	// ThroughputJPS is completions per simulated second over the full run.
+	ThroughputJPS float64 `json:"throughput_jps"`
+}
+
+// Report summarizes one scenario run.
+type Report struct {
+	Schema     string         `json:"schema"`
+	Scenario   string         `json:"scenario"`
+	Seed       int64          `json:"seed"`
+	Phantom    bool           `json:"phantom"`
+	ElapsedNS  int64          `json:"elapsed_ns"`
+	Tenants    []TenantReport `json:"tenants"`
+	TotalJobs  int64          `json:"total_jobs"`
+	TotalBytes int64          `json:"total_work_bytes"`
+}
+
+// buildReport snapshots per-tenant metrics after the engine drains.
+func (e *Engine) buildReport() *Report {
+	rep := &Report{
+		Schema:    ReportSchema,
+		Scenario:  e.scn.Name,
+		Seed:      e.scn.Seed,
+		Phantom:   e.opts.Phantom,
+		ElapsedNS: int64(e.eng.Now()),
+	}
+	elapsedSec := float64(e.eng.Now()) / float64(sim.Second)
+	for _, t := range e.tenants {
+		tr := TenantReport{
+			Name:          t.spec.Name,
+			Arrivals:      t.arrivals.Value(),
+			Admitted:      t.admitted.Value(),
+			Completed:     t.completed.Value(),
+			JobErrors:     t.jobErrors.Value(),
+			SLOViolations: t.sloViol.Value(),
+			P50NS:         t.latHist.Quantile(0.50),
+			P99NS:         t.latHist.Quantile(0.99),
+			MaxNS:         t.latHist.Max(),
+		}
+		if n := t.latHist.Count(); n > 0 {
+			tr.MeanNS = t.latHist.Sum() / n
+		}
+		if rq, rb := t.rejQuota.Value(), t.rejBacklog.Value(); rq+rb > 0 {
+			tr.Rejected = map[string]int64{}
+			if rq > 0 {
+				tr.Rejected["quota"] = rq
+			}
+			if rb > 0 {
+				tr.Rejected["backlog"] = rb
+			}
+		}
+		if elapsedSec > 0 {
+			tr.ThroughputJPS = float64(tr.Completed) / elapsedSec
+		}
+		rep.TotalJobs += tr.Completed
+		rep.Tenants = append(rep.Tenants, tr)
+	}
+	for _, rec := range e.records {
+		if rec.Err == "" {
+			// Work accounting uses the planned WFQ bytes of finished jobs.
+			plan, err := planJob(MixEntry{Workload: rec.Workload, N: rec.N, Iters: itersOf(e.scn, rec)}, quotaOf(e.scn, rec.Tenant))
+			if err == nil {
+				rep.TotalBytes += plan.WorkBytes
+			}
+		}
+	}
+	return rep
+}
+
+func quotaOf(s *Scenario, tenant string) int64 {
+	for i := range s.Tenants {
+		if s.Tenants[i].Name == tenant {
+			return s.Tenants[i].QuotaBytes()
+		}
+	}
+	return 0
+}
+
+func itersOf(s *Scenario, rec JobRecord) int {
+	for i := range s.Tenants {
+		if s.Tenants[i].Name != rec.Tenant {
+			continue
+		}
+		for _, m := range s.Tenants[i].Mix {
+			if m.Workload == rec.Workload && m.N == rec.N {
+				return m.Iters
+			}
+		}
+	}
+	return 1
+}
+
+// WriteJSON writes the report as indented, key-stable JSON (maps render
+// with sorted keys), byte-identical across runs of the same scenario+seed.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String renders the report as a fixed-width table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scenario %s (seed %d, %s) — %s simulated\n",
+		r.Scenario, r.Seed, modeName(r.Phantom), fmtDur(r.ElapsedNS))
+	fmt.Fprintf(&sb, "%-12s %8s %8s %8s %8s %6s %10s %10s %10s\n",
+		"tenant", "arrive", "admit", "reject", "done", "slo!", "p50", "p99", "max")
+	for _, t := range r.Tenants {
+		var rej int64
+		for _, v := range t.Rejected {
+			rej += v
+		}
+		fmt.Fprintf(&sb, "%-12s %8d %8d %8d %8d %6d %10s %10s %10s\n",
+			t.Name, t.Arrivals, t.Admitted, rej, t.Completed, t.SLOViolations,
+			fmtDur(t.P50NS), fmtDur(t.P99NS), fmtDur(t.MaxNS))
+	}
+	return sb.String()
+}
+
+func modeName(phantom bool) string {
+	if phantom {
+		return "phantom"
+	}
+	return "functional"
+}
+
+func fmtDur(ns int64) string {
+	switch {
+	case ns >= int64(sim.Second):
+		return fmt.Sprintf("%.2fs", float64(ns)/float64(sim.Second))
+	case ns >= int64(sim.Millisecond):
+		return fmt.Sprintf("%.2fms", float64(ns)/float64(sim.Millisecond))
+	case ns >= int64(sim.Microsecond):
+		return fmt.Sprintf("%.2fµs", float64(ns)/float64(sim.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,257 @@
+// Package serve is the multi-tenant traffic engine of the Northup
+// reproduction: it admits *streams* of jobs from several tenants against a
+// *shared* topology tree, where the original paper (and PRs 1–5) executed
+// one job at a time on a private tree.
+//
+// A scenario — declared in a small YAML/JSON DSL (parse.go, yaml.go) —
+// names the tenants, their workload mixes (GEMM / SpMV / HotSpot / sort at
+// varying sizes), open-loop Poisson arrival rates driven by seeded
+// deterministic RNGs, per-tenant staging-memory quotas, and latency SLOs.
+// The engine (engine.go) layers admission control and weighted-fair
+// queueing over the existing internal/sched deques, runs each admitted job
+// as a root task on the shared core.Runtime (Runtime.Start — the same
+// mechanism the cluster package uses to multiplex one engine), and reports
+// per-tenant latency percentiles from internal/obs fixed-bucket histograms
+// (report.go).
+//
+// Everything is deterministic: arrivals come from per-tenant math/rand
+// sources seeded from the scenario seed, the simulation engine serializes
+// all activity, and metric exports are byte-stable — the same scenario and
+// seed reproduce byte-identical per-tenant metrics JSON, which the
+// determinism property tests assert.
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/apps/gemm"
+	"repro/internal/apps/hotspot"
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// Workload kinds a mix entry may name.
+const (
+	WorkloadGEMM    = "gemm"
+	WorkloadSpMV    = "spmv"
+	WorkloadHotSpot = "hotspot"
+	WorkloadSort    = "sort"
+)
+
+// spmvAvgNNZ is the fixed average row population of serve SpMV jobs (the
+// paper's uniform synthetic structure).
+const spmvAvgNNZ = 8
+
+// maxMixN bounds problem sizes so footprint arithmetic stays far from
+// overflow and a typo'd dimension fails at parse time, not at runtime.
+const maxMixN = 1 << 20
+
+// MixEntry is one workload in a tenant's mix, drawn with probability
+// proportional to Weight.
+type MixEntry struct {
+	// Workload is one of gemm, spmv, hotspot, sort.
+	Workload string
+	// N is the problem dimension: matrix/grid side for gemm and hotspot,
+	// row count for spmv, key count for sort.
+	N int
+	// Iters is the stencil iteration count (hotspot only; default 4).
+	Iters int
+	// Weight is the entry's draw weight within the mix (default 1).
+	Weight float64
+}
+
+// Tenant declares one traffic source.
+type Tenant struct {
+	Name string
+	// Rate is the open-loop Poisson arrival rate in jobs per second
+	// (the DSL's "rate: 10/s").
+	Rate float64
+	// Weight is the tenant's weighted-fair-queueing share (default 1).
+	Weight float64
+	// QuotaMiB caps the tenant's staging-memory footprint: a job whose
+	// working set cannot fit the quota is rejected at admission, and
+	// dispatch holds a job back while the tenant's in-flight footprint
+	// plus the job's would exceed it.
+	QuotaMiB int64
+	// SLO is the per-job latency objective; completions above it count
+	// into northup_serve_slo_violations_total. Zero disables the check.
+	SLO sim.Time
+	// MaxJobs stops the tenant's arrival stream after this many arrivals
+	// (0 = until the scenario duration elapses).
+	MaxJobs int
+	// MaxQueue caps the admission backlog; arrivals beyond it are
+	// rejected with reason "backlog" (default 64).
+	MaxQueue int
+	Mix      []MixEntry
+}
+
+// QuotaBytes returns the tenant's staging quota in bytes.
+func (t *Tenant) QuotaBytes() int64 { return t.QuotaMiB * device.MiB }
+
+// TopoSpec selects and sizes the shared topology tree.
+type TopoSpec struct {
+	// Preset is "apu-ssd" (default) or "apu-hdd": the paper's 2-level
+	// storage -> DRAM(+GPU,+CPU) tree.
+	Preset string
+	// StorageMiB sizes the root storage (default 1024).
+	StorageMiB int64
+	// DRAMMiB sizes the staging DRAM the quotas carve up (default 256).
+	DRAMMiB int64
+}
+
+// Scenario is a parsed, validated traffic scenario.
+type Scenario struct {
+	Name string
+	// Seed seeds every per-tenant arrival RNG (tenant seeds are derived
+	// from it and the tenant name, so tenant order does not matter).
+	Seed int64
+	// Duration is the arrival horizon: no tenant generates arrivals past
+	// it. Jobs admitted before the horizon run to completion.
+	Duration sim.Time
+	// Workers is the number of dispatch slots — how many admitted jobs
+	// the shared tree executes concurrently (default 2).
+	Workers  int
+	Topology TopoSpec
+	Tenants  []Tenant
+}
+
+// applyDefaults fills zero-valued optional fields in place.
+func (s *Scenario) applyDefaults() {
+	if s.Workers == 0 {
+		s.Workers = 2
+	}
+	if s.Topology.Preset == "" {
+		s.Topology.Preset = "apu-ssd"
+	}
+	if s.Topology.StorageMiB == 0 {
+		s.Topology.StorageMiB = 1024
+	}
+	if s.Topology.DRAMMiB == 0 {
+		s.Topology.DRAMMiB = 256
+	}
+	for i := range s.Tenants {
+		t := &s.Tenants[i]
+		if t.Weight == 0 {
+			t.Weight = 1
+		}
+		if t.MaxQueue == 0 {
+			t.MaxQueue = 64
+		}
+		for j := range t.Mix {
+			m := &t.Mix[j]
+			if m.Weight == 0 {
+				m.Weight = 1
+			}
+			if m.Workload == WorkloadHotSpot && m.Iters == 0 {
+				m.Iters = 4
+			}
+		}
+	}
+}
+
+// withDefaults returns a deep copy with defaults applied, leaving the
+// receiver untouched so callers can reuse it across engines.
+func (s *Scenario) withDefaults() *Scenario {
+	out := *s
+	out.Tenants = make([]Tenant, len(s.Tenants))
+	copy(out.Tenants, s.Tenants)
+	for i := range out.Tenants {
+		mix := make([]MixEntry, len(out.Tenants[i].Mix))
+		copy(mix, out.Tenants[i].Mix)
+		out.Tenants[i].Mix = mix
+	}
+	out.applyDefaults()
+	return &out
+}
+
+// Validate checks the scenario's semantic invariants. New applies defaults
+// and calls it; programmatic builders need not call either themselves.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("serve: scenario has no name")
+	}
+	if s.Workers < 1 {
+		return fmt.Errorf("serve: workers %d < 1", s.Workers)
+	}
+	switch s.Topology.Preset {
+	case "apu-ssd", "apu-hdd":
+	default:
+		return fmt.Errorf("serve: unknown topology preset %q (want apu-ssd or apu-hdd)", s.Topology.Preset)
+	}
+	if s.Topology.StorageMiB <= 0 || s.Topology.DRAMMiB <= 0 {
+		return fmt.Errorf("serve: topology capacities must be positive (storage %d MiB, dram %d MiB)",
+			s.Topology.StorageMiB, s.Topology.DRAMMiB)
+	}
+	if len(s.Tenants) == 0 {
+		return fmt.Errorf("serve: scenario %q has no tenants", s.Name)
+	}
+	seen := map[string]bool{}
+	for i := range s.Tenants {
+		t := &s.Tenants[i]
+		if t.Name == "" {
+			return fmt.Errorf("serve: tenant %d has no name", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("serve: duplicate tenant %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Rate <= 0 {
+			return fmt.Errorf("serve: tenant %q rate %g must be positive", t.Name, t.Rate)
+		}
+		if t.Weight <= 0 {
+			return fmt.Errorf("serve: tenant %q weight %g must be positive", t.Name, t.Weight)
+		}
+		if t.QuotaMiB <= 0 {
+			return fmt.Errorf("serve: tenant %q quota %d MiB must be positive", t.Name, t.QuotaMiB)
+		}
+		if t.SLO < 0 {
+			return fmt.Errorf("serve: tenant %q negative SLO", t.Name)
+		}
+		if t.MaxJobs < 0 || t.MaxQueue < 1 {
+			return fmt.Errorf("serve: tenant %q invalid max_jobs/max_queue", t.Name)
+		}
+		if s.Duration <= 0 && t.MaxJobs == 0 {
+			return fmt.Errorf("serve: tenant %q has no max_jobs and the scenario has no duration: arrivals would never stop", t.Name)
+		}
+		if len(t.Mix) == 0 {
+			return fmt.Errorf("serve: tenant %q has an empty mix", t.Name)
+		}
+		for j := range t.Mix {
+			if err := validateMix(&t.Mix[j]); err != nil {
+				return fmt.Errorf("serve: tenant %q mix[%d]: %w", t.Name, j, err)
+			}
+		}
+	}
+	return nil
+}
+
+// validateMix checks one mix entry against its workload's shape rules.
+func validateMix(m *MixEntry) error {
+	if m.Weight <= 0 {
+		return fmt.Errorf("weight %g must be positive", m.Weight)
+	}
+	if m.N <= 0 {
+		return fmt.Errorf("n %d must be positive", m.N)
+	}
+	if m.N > maxMixN {
+		return fmt.Errorf("n %d exceeds the serve size ceiling %d", m.N, maxMixN)
+	}
+	switch m.Workload {
+	case WorkloadGEMM:
+		if m.N%gemm.TileDim != 0 {
+			return fmt.Errorf("gemm n %d must be a multiple of %d", m.N, gemm.TileDim)
+		}
+	case WorkloadHotSpot:
+		if m.N%hotspot.BlockDim != 0 {
+			return fmt.Errorf("hotspot n %d must be a multiple of %d", m.N, hotspot.BlockDim)
+		}
+		if m.Iters <= 0 {
+			return fmt.Errorf("hotspot iters %d must be positive", m.Iters)
+		}
+	case WorkloadSpMV, WorkloadSort:
+		// Any positive size; chunking handles remainders.
+	default:
+		return fmt.Errorf("unknown workload %q (want gemm, spmv, hotspot or sort)", m.Workload)
+	}
+	return nil
+}

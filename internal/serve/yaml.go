@@ -1,0 +1,328 @@
+package serve
+
+// A hand-rolled decoder for the YAML subset the scenario DSL uses. The
+// module deliberately has zero dependencies, so rather than pull in a YAML
+// library this file implements exactly what scenario files need:
+//
+//   - indentation-scoped mappings  (key: value / key: <nested block>)
+//   - block sequences              (- item / - key: value ...)
+//   - plain, single- and double-quoted scalars
+//   - full-line and trailing "#" comments, blank lines
+//
+// Anchors, aliases, flow collections, multi-line scalars, tags and multiple
+// documents are all rejected with errors. The decoder produces the same
+// generic tree shape as encoding/json — map[string]any, []any, string — so
+// parse.go walks one representation for both front ends. All scalars stay
+// strings here; typing (ints, rates, durations) happens in parse.go where
+// field context is known.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// yamlLine is one significant (non-blank, non-comment) line of input.
+type yamlLine struct {
+	num    int    // 1-based line number for error messages
+	indent int    // leading spaces
+	text   string // content with indentation and trailing comment removed
+}
+
+// decodeYAML parses the DSL's YAML subset into a generic tree.
+func decodeYAML(data []byte) (any, error) {
+	lines, err := splitYAMLLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	v, rest, err := parseYAMLBlock(lines, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("yaml: line %d: unexpected de-indent to column %d",
+			rest[0].num, rest[0].indent)
+	}
+	return v, nil
+}
+
+// splitYAMLLines strips comments and blanks and records indentation.
+func splitYAMLLines(src string) ([]yamlLine, error) {
+	var out []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimRight(raw, " \t\r")
+		trimmed := strings.TrimLeft(line, " ")
+		indent := len(line) - len(trimmed)
+		if strings.HasPrefix(trimmed, "\t") {
+			return nil, fmt.Errorf("yaml: line %d: tabs are not allowed in indentation", i+1)
+		}
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if trimmed == "---" || trimmed == "..." {
+			if len(out) > 0 {
+				return nil, fmt.Errorf("yaml: line %d: multiple documents are not supported", i+1)
+			}
+			continue
+		}
+		if cut := findYAMLComment(trimmed); cut >= 0 {
+			trimmed = strings.TrimRight(trimmed[:cut], " \t")
+			if trimmed == "" {
+				continue
+			}
+		}
+		out = append(out, yamlLine{num: i + 1, indent: indent, text: trimmed})
+	}
+	return out, nil
+}
+
+// findYAMLComment returns the index of a trailing comment's "#", or -1.
+// A "#" only opens a comment when preceded by whitespace (or at the start)
+// and not inside a quoted scalar — so "rate: 10  # jobs" trims, while
+// "name: a#b" and "name: 'a # b'" do not.
+func findYAMLComment(s string) int {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t'):
+			return i
+		}
+	}
+	return -1
+}
+
+// parseYAMLBlock parses the run of lines at exactly the given indentation,
+// returning the decoded value and the lines that follow the block.
+func parseYAMLBlock(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	if len(lines) == 0 {
+		return nil, nil, fmt.Errorf("yaml: empty block")
+	}
+	if lines[0].indent != indent {
+		return nil, nil, fmt.Errorf("yaml: line %d: bad indentation %d (block starts at %d)",
+			lines[0].num, lines[0].indent, indent)
+	}
+	if isYAMLListItem(lines[0].text) {
+		return parseYAMLSequence(lines, indent)
+	}
+	return parseYAMLMapping(lines, indent)
+}
+
+func isYAMLListItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+// parseYAMLMapping parses "key: ..." lines at the given indentation.
+func parseYAMLMapping(lines []yamlLine, indent int) (map[string]any, []yamlLine, error) {
+	m := map[string]any{}
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, fmt.Errorf("yaml: line %d: unexpected indentation %d inside mapping at %d",
+				ln.num, ln.indent, indent)
+		}
+		if isYAMLListItem(ln.text) {
+			return nil, nil, fmt.Errorf("yaml: line %d: sequence item inside mapping", ln.num)
+		}
+		key, val, hasVal, err := splitYAMLKey(ln)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, nil, fmt.Errorf("yaml: line %d: duplicate key %q", ln.num, key)
+		}
+		lines = lines[1:]
+		if hasVal {
+			m[key] = val
+			continue
+		}
+		// "key:" introduces a nested block — or an empty value when the
+		// next line is not further indented.
+		if len(lines) == 0 || lines[0].indent <= indent {
+			m[key] = nil
+			continue
+		}
+		child, rest, err := parseYAMLBlock(lines, lines[0].indent)
+		if err != nil {
+			return nil, nil, err
+		}
+		m[key] = child
+		lines = rest
+	}
+	return m, lines, nil
+}
+
+// parseYAMLSequence parses "- ..." lines at the given indentation.
+func parseYAMLSequence(lines []yamlLine, indent int) ([]any, []yamlLine, error) {
+	seq := []any{}
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, fmt.Errorf("yaml: line %d: unexpected indentation %d inside sequence at %d",
+				ln.num, ln.indent, indent)
+		}
+		if !isYAMLListItem(ln.text) {
+			return nil, nil, fmt.Errorf("yaml: line %d: expected sequence item, got %q", ln.num, ln.text)
+		}
+		if ln.text == "-" {
+			// Item body is the following more-indented block.
+			lines = lines[1:]
+			if len(lines) == 0 || lines[0].indent <= indent {
+				return nil, nil, fmt.Errorf("yaml: line %d: empty sequence item", ln.num)
+			}
+			child, rest, err := parseYAMLBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+			seq = append(seq, child)
+			lines = rest
+			continue
+		}
+		body := strings.TrimLeft(ln.text[2:], " ")
+		inner := ln.indent + (len(ln.text) - len(body))
+		if colonIdx(body) < 0 {
+			// Plain scalar item.
+			v, err := parseYAMLScalar(body, ln.num)
+			if err != nil {
+				return nil, nil, err
+			}
+			seq = append(seq, v)
+			lines = lines[1:]
+			continue
+		}
+		// "- key: ..." opens an inline mapping: re-enter the mapping parser
+		// with the dash replaced by spaces, so subsequent keys of this item
+		// align under the first.
+		rewritten := append([]yamlLine{{num: ln.num, indent: inner, text: body}}, lines[1:]...)
+		child, rest, err := parseYAMLMapping(rewritten, inner)
+		if err != nil {
+			return nil, nil, err
+		}
+		seq = append(seq, child)
+		lines = rest
+	}
+	return seq, lines, nil
+}
+
+// colonIdx finds the key/value separator — a ":" at end-of-string or
+// followed by a space, outside quotes — or returns -1.
+func colonIdx(s string) int {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == ':' && (i == len(s)-1 || s[i+1] == ' '):
+			return i
+		}
+	}
+	return -1
+}
+
+// splitYAMLKey splits a mapping line into key and optional scalar value.
+func splitYAMLKey(ln yamlLine) (key string, val any, hasVal bool, err error) {
+	idx := colonIdx(ln.text)
+	if idx < 0 {
+		return "", nil, false, fmt.Errorf("yaml: line %d: expected \"key: value\", got %q", ln.num, ln.text)
+	}
+	key = strings.TrimSpace(ln.text[:idx])
+	if key == "" {
+		return "", nil, false, fmt.Errorf("yaml: line %d: empty key", ln.num)
+	}
+	if k, ok := unquoteYAML(key); ok {
+		key = k
+	} else if strings.HasPrefix(key, "'") || strings.HasPrefix(key, "\"") {
+		return "", nil, false, fmt.Errorf("yaml: line %d: unterminated quoted key", ln.num)
+	}
+	rest := strings.TrimSpace(ln.text[idx+1:])
+	if rest == "" {
+		return key, nil, false, nil
+	}
+	v, err := parseYAMLScalar(rest, ln.num)
+	if err != nil {
+		return "", nil, false, err
+	}
+	return key, v, true, nil
+}
+
+// parseYAMLScalar decodes one scalar token. Everything stays a string —
+// typing happens against the schema — but quoting is resolved here and
+// flow-style collections are rejected.
+func parseYAMLScalar(s string, num int) (any, error) {
+	if v, ok := unquoteYAML(s); ok {
+		return v, nil
+	}
+	switch s[0] {
+	case '\'', '"':
+		return nil, fmt.Errorf("yaml: line %d: unterminated quoted scalar %s", num, s)
+	case '[', '{':
+		return nil, fmt.Errorf("yaml: line %d: flow collections are not supported", num)
+	case '&', '*', '!', '|', '>', '%', '@', '`':
+		return nil, fmt.Errorf("yaml: line %d: unsupported YAML feature %q", num, s)
+	}
+	return s, nil
+}
+
+// unquoteYAML strips matching surrounding quotes. Double quotes honour the
+// \" \\ \n \t escapes; single quotes honour the '' escape.
+func unquoteYAML(s string) (string, bool) {
+	if len(s) < 2 {
+		return "", false
+	}
+	q := s[0]
+	if (q != '\'' && q != '"') || s[len(s)-1] != q {
+		return "", false
+	}
+	body := s[1 : len(s)-1]
+	var sb strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case q == '\'' && c == '\'':
+			if i+1 >= len(body) || body[i+1] != '\'' {
+				return "", false // a lone interior quote means mismatched ends
+			}
+			sb.WriteByte('\'')
+			i++
+		case q == '"' && c == '"':
+			return "", false
+		case q == '"' && c == '\\':
+			if i+1 >= len(body) {
+				return "", false
+			}
+			i++
+			switch body[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '"', '\'':
+				sb.WriteByte(body[i])
+			default:
+				return "", false
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String(), true
+}

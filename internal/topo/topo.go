@@ -46,6 +46,35 @@ type Node struct {
 // IsLeaf reports whether the node has no children.
 func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
 
+// AttachQueues registers work-queue monitors on the node for the lifetime
+// of one scheduler and returns a detach function that removes exactly those
+// monitors again. Schedulers must use this instead of assigning Queues
+// directly: several jobs multiplexed over one shared tree (package serve)
+// each attach their own queues, and a direct assignment would clobber a
+// concurrent job's registration and leak stale monitors after the job ends.
+func (n *Node) AttachQueues(qs ...sched.Monitor) (detach func()) {
+	n.Queues = append(n.Queues, qs...)
+	return func() {
+		kept := n.Queues[:0]
+		for _, q := range n.Queues {
+			mine := false
+			for _, a := range qs {
+				if q == a {
+					mine = true
+					break
+				}
+			}
+			if !mine {
+				kept = append(kept, q)
+			}
+		}
+		for i := len(kept); i < len(n.Queues); i++ {
+			n.Queues[i] = nil
+		}
+		n.Queues = kept
+	}
+}
+
 // Kind returns the node's device kind (the paper's fetch_node_type()).
 func (n *Node) Kind() device.Kind { return n.Mem.Kind() }
 

@@ -1,0 +1,51 @@
+package northup
+
+// This file re-exports the multi-tenant traffic engine (package serve):
+// a declarative scenario DSL (YAML/JSON, see specs/scenarios/) describing
+// tenants with Poisson arrival rates, workload mixes over the case-study
+// kernels, per-tenant memory quotas and latency SLOs, executed against one
+// shared topology tree with admission control and weighted fair queueing.
+// Runs are deterministic: the same scenario and seed reproduce reports,
+// job records and metrics byte for byte.
+
+import "repro/internal/serve"
+
+// Multi-tenant serving types.
+type (
+	// Scenario is a parsed serving scenario: topology, workers, tenants.
+	Scenario = serve.Scenario
+	// ScenarioTenant declares one tenant: arrival rate, WFQ weight,
+	// memory quota, SLO and workload mix.
+	ScenarioTenant = serve.Tenant
+	// ScenarioMixEntry is one weighted workload in a tenant's mix.
+	ScenarioMixEntry = serve.MixEntry
+	// ScenarioTopology selects the shared tree preset and capacities.
+	ScenarioTopology = serve.TopoSpec
+	// ServeEngine admits, queues and executes tenant jobs on the tree.
+	ServeEngine = serve.Engine
+	// ServeOptions tunes a run (phantom vs functional execution).
+	ServeOptions = serve.RunOptions
+	// ServeReport is the per-tenant service-quality summary (p50/p99
+	// virtual-time latency, throughput, rejections, SLO violations).
+	ServeReport = serve.Report
+	// ServeTenantReport is one tenant's slice of the report.
+	ServeTenantReport = serve.TenantReport
+	// ServeJobRecord is one completed (or failed) job in the log.
+	ServeJobRecord = serve.JobRecord
+)
+
+// Workload names accepted in a scenario mix.
+const (
+	ServeWorkloadGEMM    = serve.WorkloadGEMM
+	ServeWorkloadSpMV    = serve.WorkloadSpMV
+	ServeWorkloadHotSpot = serve.WorkloadHotSpot
+	ServeWorkloadSort    = serve.WorkloadSort
+)
+
+var (
+	// ParseScenario decodes and validates a YAML or JSON scenario.
+	ParseScenario = serve.ParseScenario
+	// NewServeEngine builds an engine for a scenario; defaults are applied
+	// to a private copy, so the scenario may be reused.
+	NewServeEngine = serve.New
+)

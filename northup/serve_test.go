@@ -1,0 +1,53 @@
+package northup_test
+
+import (
+	"testing"
+
+	"repro/northup"
+)
+
+// TestServePublicSurface drives the serving engine end-to-end through the
+// public API: parse a DSL scenario, run it twice, and require identical
+// per-tenant outcomes — the same-seed determinism promise.
+func TestServePublicSurface(t *testing.T) {
+	src := []byte(`
+name: api-smoke
+seed: 9
+workers: 2
+tenants:
+  - name: t0
+    rate: 100/s
+    quota_mib: 16
+    max_jobs: 6
+    mix:
+      - workload: gemm
+        n: 128
+      - workload: sort
+        n: 5000
+`)
+	scn, err := northup.ParseScenario(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *northup.ServeReport {
+		eng, err := northup.NewServeEngine(scn, northup.ServeOptions{Phantom: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if len(a.Tenants) != 1 || a.Tenants[0].Completed != 6 {
+		t.Fatalf("unexpected report: %+v", a)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n%s\n%s", a.String(), b.String())
+	}
+	if a.Tenants[0].P99NS <= 0 {
+		t.Fatalf("no p99 latency in report: %+v", a.Tenants[0])
+	}
+}

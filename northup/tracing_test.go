@@ -185,8 +185,9 @@ func TestTracingOffChangesNothing(t *testing.T) {
 }
 
 // TestStealTraceCarriesQueueTelemetry runs the stealing stencil traced and
-// checks the queue-depth counters and pop totals surface, wiring deque
-// statistics through to reports.
+// checks the queue-depth counters and pop totals surface through the trace
+// and result — and that the scheduler detaches its queue monitors when the
+// run ends, leaving the shared tree clean for the next job.
 func TestStealTraceCarriesQueueTelemetry(t *testing.T) {
 	e := northup.NewEngine()
 	tree := northup.APU(e, northup.APUConfig{Storage: northup.SSD,
@@ -210,7 +211,9 @@ func TestStealTraceCarriesQueueTelemetry(t *testing.T) {
 	if sum.Steals != res.Steals {
 		t.Errorf("trace counted %d steals, result says %d", sum.Steals, res.Steals)
 	}
-	if !strings.Contains(tree.QueueReport(), "pops=") {
-		t.Errorf("queue report lacks pop/steal counters:\n%s", tree.QueueReport())
+	// Queue monitors are scoped to the run: once it completes they are
+	// detached, so a concurrent admitter never sees another job's deques.
+	if strings.Contains(tree.QueueReport(), "pops=") {
+		t.Errorf("queue monitors leaked past the run:\n%s", tree.QueueReport())
 	}
 }
