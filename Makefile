@@ -6,13 +6,14 @@
 #                     BENCH_stream.json, BENCH_serve.json, BENCH_perf.json
 #   make bench-stream streamed-transfer overlap sweep -> BENCH_stream.json
 #   make bench-serve  multi-tenant saturation sweep -> BENCH_serve.json
+#   make bench-sim    DES-engine dispatch microbenchmarks (ns/event + allocs)
 #   make bench-check  perf-regression gate: re-run the perf suite (race
 #                     detector on) and diff against the committed BENCH_perf.json
 #   make all          both gates plus the benchmark artifacts
 
 GO ?= go
 
-.PHONY: all build test vet race check strict bench bench-json bench-stream bench-serve bench-check trace-demo serve-demo clean
+.PHONY: all build test vet race check strict bench bench-json bench-stream bench-serve bench-sim bench-check trace-demo serve-demo clean
 
 all: check strict bench-json
 
@@ -78,6 +79,13 @@ bench-stream:
 # and worst-tenant latency percentiles across rate multipliers.
 bench-serve:
 	$(GO) run ./cmd/northup-bench -fig serve -format json > BENCH_serve.json
+
+# DES-engine microbenchmarks: per-event cost of both dispatch paths (proc
+# resumption vs inline callback vs same-instant fan-out) with allocation
+# counts; the committed floors in BENCH_perf.json come from the same
+# workload shapes via `northup-bench -baseline`.
+bench-sim:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sim/
 
 # Perf-regression gate: re-run the paper-scale perf suite under the race
 # detector and diff every metric against the committed baseline with

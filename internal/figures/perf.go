@@ -63,6 +63,11 @@ type PerfProfile struct {
 	// relative tolerances (0.10 = ±10%). Committed alongside the baseline
 	// so known-noisy metrics can be widened without code changes.
 	Tolerances map[string]float64 `json:"tolerances,omitempty"`
+	// Floors marks wall-clock metrics (dispatch rates, speedups) that are
+	// checked one-sided instead of diffed against the baseline value: the
+	// run fails only when the metric drops below the committed floor. Keys
+	// follow the same exact-or-longest-prefix rule as Tolerances.
+	Floors map[string]float64 `json:"floors,omitempty"`
 }
 
 // PerfSuite runs the three applications on the SSD tree with metrics
@@ -127,11 +132,21 @@ func PerfSuite(o Options) (*PerfProfile, error) {
 		ElapsedNS: srvRep.ElapsedNS,
 		Metrics:   srvEng.MergedRegistry().Flatten(),
 	})
+	// Sixth entry: the DES engine's own dispatch speed on the paper-scale
+	// event mix, so a scheduling regression — a slower heap, a lost batch
+	// path, callbacks falling back to goroutine handoffs — fails the gate
+	// even when the virtual-time results it produces are still correct.
+	simPerf, floors, err := simEnginePerf(o)
+	if err != nil {
+		return nil, fmt.Errorf("figures: perf suite: sim-engine: %w", err)
+	}
+	prof.Apps = append(prof.Apps, simPerf)
 	// Per-hop bandwidth is a last-value gauge: the final sub-chunk's size
 	// (and so its instantaneous rate) shifts with any resizing rework even
 	// when the pipeline is healthy, so it gets a wider band than the
 	// totals the gate is really guarding.
 	prof.Tolerances = map[string]float64{"northup_stream_hop_bw": 0.10}
+	prof.Floors = floors
 	return prof, nil
 }
 
@@ -180,20 +195,33 @@ func ParsePerfProfile(data []byte) (*PerfProfile, error) {
 type PerfDelta struct {
 	App    string
 	Metric string
-	Base   float64
-	Got    float64
+	// Base is the baseline value, or the committed floor for floor-gated
+	// metrics.
+	Base float64
+	Got  float64
 	// Rel is (got-base)/base, 0 when base is 0.
 	Rel float64
-	// Tol is the relative tolerance that applied.
+	// Tol is the relative tolerance that applied (0 for floor checks).
 	Tol float64
+	// Floor marks a one-sided floor failure: got fell below Base.
+	Floor bool
 }
 
 // slower reports whether the deviation is in the regression direction
-// (time or work increased).
-func (d PerfDelta) slower() bool { return d.Got > d.Base }
+// (time or work increased, or a rate fell below its floor).
+func (d PerfDelta) slower() bool {
+	if d.Floor {
+		return true
+	}
+	return d.Got > d.Base
+}
 
 // String renders one deviation line.
 func (d PerfDelta) String() string {
+	if d.Floor {
+		return fmt.Sprintf("%-12s %-48s floor %.4g -> got %.4g (%+.1f%%, BELOW FLOOR)",
+			d.App, d.Metric, d.Base, d.Got, 100*d.Rel)
+	}
 	dir := "faster/less"
 	if d.slower() {
 		dir = "SLOWER/more"
@@ -246,6 +274,21 @@ func (p *PerfProfile) tolFor(name string) float64 {
 		}
 	}
 	return best
+}
+
+// floorOverrideFor resolves a one-sided floor for a metric (exact name,
+// else longest prefix), reporting whether one applies.
+func (p *PerfProfile) floorOverrideFor(name string) (float64, bool) {
+	if f, ok := p.Floors[name]; ok {
+		return f, true
+	}
+	best, bestLen, found := 0.0, -1, false
+	for prefix, f := range p.Floors {
+		if len(prefix) > bestLen && strings.HasPrefix(name, prefix) {
+			best, bestLen, found = f, len(prefix), true
+		}
+	}
+	return best, found
 }
 
 // floorFor returns the absolute deviation floor for a metric name, keyed
@@ -308,9 +351,23 @@ func (p *PerfProfile) Check(got *PerfProfile) *PerfCheck {
 	return c
 }
 
-// compare applies the tolerance rule to one metric pair.
+// compare applies the tolerance rule to one metric pair. Floor-gated
+// metrics (wall-clock rates) are checked one-sided against the committed
+// floor instead of diffed against the baseline value.
 func (c *PerfCheck) compare(p *PerfProfile, app, name string, base, got float64) {
 	c.Compared++
+	if floor, ok := p.floorOverrideFor(name); ok {
+		if got >= floor {
+			return
+		}
+		rel := 0.0
+		if floor != 0 {
+			rel = (got - floor) / floor
+		}
+		c.Failures = append(c.Failures, PerfDelta{App: app, Metric: name,
+			Base: floor, Got: got, Rel: rel, Floor: true})
+		return
+	}
 	tol := p.tolFor(name)
 	dev := abs(got - base)
 	limit := tol * abs(base)

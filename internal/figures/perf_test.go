@@ -17,20 +17,30 @@ func perfProfile(t *testing.T) *PerfProfile {
 }
 
 // TestPerfSuiteShape checks the profile covers the three apps plus the
-// streamed-shard and serve-mix entries with real virtual time and a
-// populated metric map.
+// streamed-shard, serve-mix and sim-engine entries with real virtual time
+// and a populated metric map.
 func TestPerfSuiteShape(t *testing.T) {
 	p := perfProfile(t)
-	if len(p.Apps) != len(Apps)+2 {
-		t.Fatalf("profile has %d apps, want %d", len(p.Apps), len(Apps)+2)
+	if len(p.Apps) != len(Apps)+3 {
+		t.Fatalf("profile has %d apps, want %d", len(p.Apps), len(Apps)+3)
 	}
-	stream := p.Apps[len(p.Apps)-2]
+	stream := p.Apps[len(p.Apps)-3]
 	if stream.Name != "stream-overlap" {
 		t.Fatalf("fourth profile entry %q, want stream-overlap", stream.Name)
 	}
-	srv := p.Apps[len(p.Apps)-1]
+	srv := p.Apps[len(p.Apps)-2]
 	if srv.Name != "serve-mix" {
-		t.Fatalf("last profile entry %q, want serve-mix", srv.Name)
+		t.Fatalf("fifth profile entry %q, want serve-mix", srv.Name)
+	}
+	eng := p.Apps[len(p.Apps)-1]
+	if eng.Name != "sim-engine" {
+		t.Fatalf("last profile entry %q, want sim-engine", eng.Name)
+	}
+	if eng.Metrics[`sim_engine_events{path="callback"}`] <= 0 {
+		t.Fatal("sim-engine entry carries no dispatch event counts")
+	}
+	if _, ok := eng.Metrics["sim_engine_speedup"]; ok {
+		t.Fatal("reduced-scale run emitted the wall-clock speedup metric")
 	}
 	if srv.Metrics[`northup_serve_completed_total{tenant="interactive"}`] <= 0 {
 		t.Fatal("serve-mix entry carries no tenant completion counters")
@@ -48,6 +58,10 @@ func TestPerfSuiteShape(t *testing.T) {
 		}
 		if len(a.Metrics) == 0 {
 			t.Errorf("%s: empty metric map", a.Name)
+		}
+		if a.Name == "sim-engine" {
+			// The engine self-measurement runs no devices.
+			continue
 		}
 		if a.Metrics[`northup_busy_ns_total{cat="gpu"}`] <= 0 {
 			t.Errorf("%s: no GPU busy time in metrics", a.Name)
@@ -169,6 +183,70 @@ func TestPerfTolerances(t *testing.T) {
 	}
 	if got := base.tolFor("northup_cache_misses_total"); got != 0.5 {
 		t.Fatalf("prefix tolerance %v, want 0.5", got)
+	}
+}
+
+// TestPerfFloors pins the one-sided floor semantics for wall-clock metrics:
+// a value at or above the committed floor passes regardless of how far it
+// drifts from the baseline value, a value below fails with a BELOW FLOOR
+// line, and resolution is exact-name-first then longest-prefix.
+func TestPerfFloors(t *testing.T) {
+	base := &PerfProfile{
+		Schema: perfSchema,
+		Scale:  1,
+		Apps: []AppPerf{{
+			Name:      "sim-engine",
+			ElapsedNS: 1000,
+			Metrics: map[string]float64{
+				`sim_engine_events_per_sec{path="callback"}`: 20e6,
+				`sim_engine_events_per_sec{path="proc"}`:     1e6,
+				`sim_engine_speedup`:                         20,
+			},
+		}},
+		Floors: map[string]float64{
+			"sim_engine_events_per_sec": 1e4,
+			"sim_engine_speedup":        10,
+		},
+	}
+	run, err := ParsePerfProfile([]byte(base.JSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 3x faster machine and a 2x speedup drift both pass: floors are
+	// one-sided, unlike the two-sided diff on deterministic metrics.
+	run.Apps[0].Metrics[`sim_engine_events_per_sec{path="callback"}`] = 60e6
+	run.Apps[0].Metrics[`sim_engine_speedup`] = 40
+	if c := base.Check(run); !c.OK() {
+		t.Fatalf("above-floor drift failed the check:\n%s", c.Report())
+	}
+	// Below the floor fails, and the report says so.
+	run.Apps[0].Metrics[`sim_engine_speedup`] = 9.5
+	c := base.Check(run)
+	if c.OK() {
+		t.Fatal("below-floor speedup passed the check")
+	}
+	if !strings.Contains(c.Report(), "BELOW FLOOR") {
+		t.Fatalf("floor failure not reported as such:\n%s", c.Report())
+	}
+	if !c.Failures[0].slower() {
+		t.Fatal("floor failure not counted as a regression direction")
+	}
+	// A floor-gated metric that vanishes from the run is Missing, not a pass.
+	run.Apps[0].Metrics[`sim_engine_speedup`] = 40
+	delete(run.Apps[0].Metrics, `sim_engine_events_per_sec{path="proc"}`)
+	if c := base.Check(run); c.OK() {
+		t.Fatal("missing floor-gated metric passed the check")
+	}
+	// Exact entries beat prefix entries.
+	base.Floors[`sim_engine_events_per_sec{path="callback"}`] = 5e6
+	if f, ok := base.floorOverrideFor(`sim_engine_events_per_sec{path="callback"}`); !ok || f != 5e6 {
+		t.Fatalf("exact floor resolution got (%v,%v), want (5e6,true)", f, ok)
+	}
+	if f, ok := base.floorOverrideFor(`sim_engine_events_per_sec{path="proc"}`); !ok || f != 1e4 {
+		t.Fatalf("prefix floor resolution got (%v,%v), want (1e4,true)", f, ok)
+	}
+	if _, ok := base.floorOverrideFor("northup_stream_hop_bw"); ok {
+		t.Fatal("unrelated metric resolved a floor")
 	}
 }
 

@@ -222,12 +222,15 @@ func (e *Engine) Run() (*Report, error) {
 	detach := e.dram.AttachQueues(monitors...)
 	defer detach()
 
+	// Arrival processes ride the engine's callback fast path: each tenant is
+	// a self-rescheduling timer, not a goroutine — an arrival draws the next
+	// gap, admits, and re-arms, all inline in the dispatch loop. The At(0)
+	// start events claim the same schedule slots the old Spawn start events
+	// did, and each tick draws from the tenant RNG in the same order the
+	// blocking loop did, so traffic is byte-identical to the proc version.
 	e.arrivalsOpen = len(e.tenants)
 	for _, t := range e.tenants {
-		t := t
-		e.eng.Spawn("serve-arrivals:"+t.spec.Name, func(p *sim.Proc) {
-			e.runArrivals(p, t)
-		})
+		e.eng.At(0, e.startArrivals(t))
 	}
 	for w := 0; w < e.scn.Workers; w++ {
 		w := w
@@ -245,32 +248,46 @@ func (e *Engine) Run() (*Report, error) {
 	return e.buildReport(), nil
 }
 
-// runArrivals is one tenant's open-loop Poisson arrival process.
-func (e *Engine) runArrivals(p *sim.Proc, t *tenantState) {
-	defer func() {
-		e.arrivalsOpen--
-		if e.arrivalsOpen == 0 {
-			e.wakeAll()
-		}
-	}()
+// startArrivals builds one tenant's open-loop Poisson arrival process as a
+// callback chain: the returned start callback arms the first gap, and every
+// subsequent tick admits one job and re-arms. The draw/check/admit order
+// matches the old blocking loop exactly — next-gap draw, duration cutoff,
+// then admission at the wake instant — so the schedule is unchanged.
+func (e *Engine) startArrivals(t *tenantState) func() {
 	count := 0
-	for {
+	var tick func()
+	arm := func() {
 		if t.spec.MaxJobs > 0 && count >= t.spec.MaxJobs {
+			e.closeArrivals()
 			return
 		}
 		dt := sim.Time(t.rng.ExpFloat64() / t.spec.Rate * float64(sim.Second))
-		if e.scn.Duration > 0 && p.Now()+dt > e.scn.Duration {
+		if e.scn.Duration > 0 && e.eng.Now()+dt > e.scn.Duration {
+			e.closeArrivals()
 			return
 		}
-		p.Sleep(dt)
+		e.eng.After(dt, tick)
+	}
+	tick = func() {
 		count++
-		e.admit(p, t)
+		e.admit(t)
+		arm()
+	}
+	return arm
+}
+
+// closeArrivals retires one tenant's arrival process; when the last one
+// closes, parked workers are released so they can observe the drain.
+func (e *Engine) closeArrivals() {
+	e.arrivalsOpen--
+	if e.arrivalsOpen == 0 {
+		e.wakeAll()
 	}
 }
 
 // admit runs admission control for one arrival: plan the job against the
 // tenant quota, apply the backlog cap, and enqueue or reject.
-func (e *Engine) admit(p *sim.Proc, t *tenantState) {
+func (e *Engine) admit(t *tenantState) {
 	t.arrivals.Inc()
 	mix := t.pickMix()
 	seed := t.rng.Int63()
@@ -288,7 +305,7 @@ func (e *Engine) admit(p *sim.Proc, t *tenantState) {
 		id:     t.jobSeq,
 		mix:    mix,
 		seed:   seed,
-		arrive: p.Now(),
+		arrive: e.eng.Now(),
 		plan:   plan,
 	}
 	t.jobSeq++

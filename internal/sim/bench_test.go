@@ -57,6 +57,75 @@ func BenchmarkResourceContention(b *testing.B) {
 	}
 }
 
+// BenchmarkCallbackThroughput measures the inline fast path: one callback
+// chain rescheduling itself (zero goroutine handoffs per event).
+func BenchmarkCallbackThroughput(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCallbackFanOut measures same-instant batch dispatch: wide bursts
+// of callbacks sharing one timestamp, the serve tier's wake-storm shape.
+func BenchmarkCallbackFanOut(b *testing.B) {
+	e := NewEngine()
+	const width = 64
+	leaf := func() {}
+	rounds := b.N/width + 1
+	r := 0
+	var burst func()
+	burst = func() {
+		for k := 0; k < width; k++ {
+			e.After(0, leaf)
+		}
+		r++
+		if r < rounds {
+			e.After(1, burst)
+		}
+	}
+	e.After(1, burst)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSpawnChurn measures short-lived process turnover: spawn, one
+// sleep, finish — the per-hop transfer proc shape — exercising the
+// finished-proc release path and the ID free list.
+func BenchmarkSpawnChurn(b *testing.B) {
+	e := NewEngine()
+	const width = 8
+	e.Spawn("driver", func(p *Proc) {
+		wg := NewWaitGroup(e)
+		for i := 0; i < b.N; i += width {
+			for k := 0; k < width; k++ {
+				wg.Add(1)
+				e.Spawn("w", func(q *Proc) {
+					defer wg.Done()
+					q.Sleep(1)
+				})
+			}
+			wg.Wait(p)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkChanPingPong measures rendezvous channel handoffs.
 func BenchmarkChanPingPong(b *testing.B) {
 	e := NewEngine()

@@ -23,4 +23,19 @@
 // WaitGroup, Latch, Resource (counting semaphore with FIFO wakeup), and Chan
 // (bounded FIFO channel). These mirror their Go standard-library namesakes
 // but block in virtual time rather than real time.
+//
+// # Dispatch fast path
+//
+// Blocking is what a Proc's goroutine buys; leaf work that never blocks can
+// skip the goroutine entirely. Engine.At and Engine.After schedule a bare
+// callback that the dispatch loop runs inline — zero handoffs, roughly 25x
+// cheaper per event — under the same (time, seq) ordering as process
+// wakeups. Callbacks may Spawn, fire latches and use the Try* primitives,
+// but must not block, and SetTrace does not report them (they are not
+// resumptions). Internally the engine keeps pending events in an
+// allocation-free 4-ary heap of concrete values, dispatches all events
+// sharing an instant as one batch, and recycles the IDs of finished
+// processes through a free list; Stats reports event counts, live/spawned
+// processes and wall-clock dispatch throughput, and RunDispatch measures
+// both dispatch paths on a paper-shaped event mix.
 package sim

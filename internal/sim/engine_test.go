@@ -238,12 +238,21 @@ func TestEngineStats(t *testing.T) {
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
-	events, procs := e.Stats()
-	if procs != 1 {
-		t.Fatalf("procs = %d", procs)
+	st := e.Stats()
+	if st.Procs != 1 {
+		t.Fatalf("procs = %d", st.Procs)
+	}
+	if st.Live != 0 {
+		t.Fatalf("live = %d after drain", st.Live)
 	}
 	// Start event + 5 sleeps.
-	if events != 6 {
-		t.Fatalf("events = %d, want 6", events)
+	if st.Events != 6 {
+		t.Fatalf("events = %d, want 6", st.Events)
+	}
+	if st.Callbacks != 0 {
+		t.Fatalf("callbacks = %d, want 0", st.Callbacks)
+	}
+	if st.Wall <= 0 || st.EventsPerSec() <= 0 {
+		t.Fatalf("wall-clock stats not recorded: %+v", st)
 	}
 }

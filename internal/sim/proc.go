@@ -17,22 +17,32 @@ type Proc struct {
 	e       *Engine
 	name    string
 	id      int
+	slot    int // index in the engine's live-process table; -1 once finished
 	resume  chan struct{}
 	state   procState
-	pending bool // a wakeup event for this proc sits in the engine heap
+	pending bool // a wakeup event for this proc is queued in the engine
 }
 
 // Spawn creates a process executing fn and schedules its start at the
 // current virtual time. It may be called before Run (to seed the simulation)
-// or from inside another process.
+// or from inside another process (or an At/After callback).
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	id := e.nextID
+	if n := len(e.freeIDs); n > 0 {
+		id = e.freeIDs[n-1]
+		e.freeIDs = e.freeIDs[:n-1]
+	} else {
+		e.nextID++
+	}
 	p := &Proc{
 		e:      e,
 		name:   name,
-		id:     len(e.procs),
+		id:     id,
+		slot:   len(e.procs),
 		resume: make(chan struct{}),
 	}
 	e.procs = append(e.procs, p)
+	e.spawned++
 	e.live++
 	go func() {
 		<-p.resume // wait for the engine to start us
@@ -52,7 +62,9 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 // Name returns the name given at Spawn time.
 func (p *Proc) Name() string { return p.name }
 
-// ID returns a small integer unique among the engine's processes.
+// ID returns a small integer unique among the engine's live processes.
+// IDs of finished processes are recycled (deterministically), so a lifetime
+// of short-lived spawns reuses a compact ID range.
 func (p *Proc) ID() int { return p.id }
 
 // Engine returns the engine this process belongs to.
