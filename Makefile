@@ -1,7 +1,9 @@
 # Build and test gates for the Northup reproduction.
 #
 #   make check        tier-1 gate: build + full test suite (the CI floor)
-#   make strict       tier-2 gate: vet + race tests + trace demo + perf gate
+#   make strict       tier-2 gate: lint + race tests + demos + perf gate
+#   make lint         gofmt -l (fail on unformatted files) + go vet
+#   make ops-demo     live admin-plane smoke: burn-rate scenario over HTTP
 #   make bench-json   benchmark artifacts -> BENCH_cache.json,
 #                     BENCH_stream.json, BENCH_serve.json, BENCH_perf.json
 #   make bench-stream streamed-transfer overlap sweep -> BENCH_stream.json
@@ -13,7 +15,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check strict bench bench-json bench-stream bench-serve bench-sim bench-check trace-demo serve-demo clean
+.PHONY: all build test vet race lint check strict bench bench-json bench-stream bench-serve bench-sim bench-check trace-demo serve-demo ops-demo clean
 
 all: check strict bench-json
 
@@ -26,15 +28,23 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Static hygiene: every file gofmt-clean, then go vet.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+
 race:
 	$(GO) test -race ./...
 
 # Tier-1: what every change must keep green.
 check: build test
 
-# Tier-2: static analysis, the race detector, the trace round-trip, and the
-# perf-regression gate.
-strict: vet race trace-demo serve-demo bench-check
+# Tier-2: static analysis, the race detector, the end-to-end demos, and
+# the perf-regression gate.
+strict: lint race trace-demo serve-demo ops-demo bench-check
 
 # End-to-end tracing smoke: capture a small traced run, then require the
 # exported Chrome trace to validate through the offline analyser.
@@ -56,6 +66,29 @@ serve-demo:
 	cmp serve-demo-a.json serve-demo-b.json
 	$(GO) run ./cmd/northup-serve -scenario specs/scenarios/saturation.json > /dev/null
 	rm -f serve-demo-a.json serve-demo-b.json
+
+# Live admin-plane smoke: run the burn-rate scenario with the HTTP plane
+# up (flat out, lingering after completion), poll /healthz until the run
+# reports done, then require the fast-burn alert in the /alerts timeline,
+# the bursty tenant in /tenants, and the alert gauges in /metrics.
+ops-demo:
+	$(GO) build -o ops-demo-serve ./cmd/northup-serve
+	sh -c ' \
+	  ./ops-demo-serve -scenario specs/scenarios/burn-rate.yaml \
+	    -http 127.0.0.1:9974 -linger 60s > /dev/null & \
+	  pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	  for i in $$(seq 1 120); do \
+	    curl -sf http://127.0.0.1:9974/healthz 2>/dev/null \
+	      | grep -q "\"status\": \"done\"" && break; \
+	    sleep 1; \
+	  done; \
+	  curl -sf http://127.0.0.1:9974/healthz | grep -q "\"status\": \"done\"" && \
+	  curl -sf http://127.0.0.1:9974/alerts > ops-demo-alerts.json && \
+	  grep -q bursty-fast-burn ops-demo-alerts.json && \
+	  grep -q "\"state\": \"firing\"" ops-demo-alerts.json && \
+	  curl -sf http://127.0.0.1:9974/tenants | grep -q "\"name\": \"bursty\"" && \
+	  curl -sf http://127.0.0.1:9974/metrics | grep -q northup_alert_firing'
+	rm -f ops-demo-serve ops-demo-alerts.json
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -95,4 +128,4 @@ bench-check:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_cache.json BENCH_stream.json BENCH_serve.json trace-demo.json serve-demo-a.json serve-demo-b.json
+	rm -f BENCH_cache.json BENCH_stream.json BENCH_serve.json trace-demo.json serve-demo-a.json serve-demo-b.json ops-demo-serve ops-demo-alerts.json

@@ -10,7 +10,7 @@
 //	            [-cache] [-cache-mib M] [-cache-share F] [-prefetch]
 //	            [-trace-out trace.json] [-trace-events N] [-metrics]
 //	            [-metrics-out metrics.json] [-metrics-prom metrics.prom]
-//	            [-sample-tick-ms T]
+//	            [-sample-tick-ms T] [-stats]
 //
 // With -trace-out the run records every span, instant and counter on the
 // virtual timeline and writes a Chrome trace_event file loadable in Perfetto
@@ -84,6 +84,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the continuous metrics registry as JSON")
 	metricsProm := flag.String("metrics-prom", "", "write the continuous metrics registry as Prometheus text")
 	sampleTickMS := flag.Int64("sample-tick-ms", 0, "sample gauges every T virtual milliseconds into the JSON export (0 = off)")
+	engStats := flag.Bool("stats", false, "print simulation-engine dispatch stats (events, inline callbacks, procs, events/sec)")
 	flag.Parse()
 
 	e := northup.NewEngine()
@@ -245,6 +246,11 @@ func main() {
 			}
 			fmt.Printf("metrics: %d metric(s) -> %s\n", reg.Len(), *metricsProm)
 		}
+	}
+	if *engStats {
+		st := e.Stats()
+		fmt.Printf("engine: %d events (%d inline callbacks), %d procs, %.0f events/sec\n",
+			st.Events, st.Callbacks, st.Procs, st.EventsPerSec())
 	}
 }
 

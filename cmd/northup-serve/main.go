@@ -4,7 +4,9 @@
 // Usage:
 //
 //	northup-serve -scenario FILE [-format table|json] [-functional]
-//	              [-metrics FILE] [-records FILE]
+//	              [-metrics FILE] [-records FILE] [-alerts FILE]
+//	              [-windows FILE] [-stats]
+//	              [-http ADDR] [-pace N] [-linger D]
 //
 // The scenario file (YAML or JSON, see specs/scenarios/) declares the
 // topology, the tenants, their workload mixes, Poisson arrival rates,
@@ -21,6 +23,19 @@
 // -metrics writes the merged metrics registry (runtime series plus every
 // tenant's northup_serve_* series) in Prometheus text format; -records
 // writes the per-job completion log as JSON. "-" selects stdout for both.
+//
+// Scenarios with an ops: block or alerts: rules additionally run the live
+// operations plane: rolling windows of per-tenant health refresh at every
+// step and multiwindow burn-rate rules produce a deterministic alert
+// timeline (-alerts writes it as JSON, -windows the windowed series).
+// With -http the run serves a live admin plane — /metrics, /healthz,
+// /tenants and /alerts — while it executes; -pace maps virtual to wall
+// time (e.g. -pace 60 advances one virtual minute per wall second, 0 runs
+// flat out) and -linger keeps the endpoints up after completion so
+// dashboards and scripts can read the final state.
+//
+// -stats adds wall-clock engine throughput (events/sec) to the report;
+// without it the report stays byte-identical across runs.
 package main
 
 import (
@@ -28,7 +43,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/serve"
 )
@@ -39,6 +57,12 @@ func main() {
 	functional := flag.Bool("functional", false, "execute real kernels and hash job outputs (default: phantom timing-only)")
 	metrics := flag.String("metrics", "", "write the merged metrics registry (Prometheus text) to this file, - for stdout")
 	records := flag.String("records", "", "write the per-job completion log (JSON) to this file, - for stdout")
+	alerts := flag.String("alerts", "", "write the alert timeline (JSON) to this file, - for stdout")
+	windows := flag.String("windows", "", "write the windowed series (JSON) to this file, - for stdout")
+	stats := flag.Bool("stats", false, "add wall-clock engine stats (events/sec) to the report")
+	httpAddr := flag.String("http", "", "serve the live admin plane (/metrics /healthz /tenants /alerts) on this address during the run")
+	pace := flag.Float64("pace", 0, "virtual seconds advanced per wall-clock second with -http (0 = flat out)")
+	linger := flag.Duration("linger", 0, "keep the admin plane serving this long after the run completes")
 	flag.Parse()
 
 	if *scenario == "" {
@@ -59,13 +83,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := serve.New(scn, serve.RunOptions{Phantom: !*functional})
+	eng, err := serve.New(scn, serve.RunOptions{Phantom: !*functional, WallStats: *stats})
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := eng.Run()
-	if err != nil {
-		fatal(err)
+	var rep *serve.Report
+	if *httpAddr != "" {
+		live := serve.NewLive(eng)
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		srv := &http.Server{Handler: live.Handler()}
+		go srv.Serve(ln)
+		fmt.Fprintf(os.Stderr, "northup-serve: admin plane on http://%s (pace %g)\n", ln.Addr(), *pace)
+		rep, err = live.RunPaced(*pace, 0)
+		if err != nil {
+			fatal(err)
+		}
+		if *linger > 0 {
+			time.Sleep(*linger)
+		}
+		srv.Close()
+	} else {
+		rep, err = eng.Run()
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	switch *format {
@@ -95,6 +139,37 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *alerts != "" {
+		err := emit(*alerts, func(w io.Writer) error {
+			return writeIndented(w, nonNil(eng.AlertEvents()))
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *windows != "" {
+		err := emit(*windows, func(w io.Writer) error {
+			return writeIndented(w, eng.WindowSeries())
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeIndented renders v as indented JSON.
+func writeIndented(w io.Writer, v any) error {
+	e := json.NewEncoder(w)
+	e.SetIndent("", "  ")
+	return e.Encode(v)
+}
+
+// nonNil turns a nil slice into an empty one so exports render [] not null.
+func nonNil[T any](s []T) []T {
+	if s == nil {
+		return []T{}
+	}
+	return s
 }
 
 // emit writes through fn to path, with "-" meaning stdout.

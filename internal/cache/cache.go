@@ -81,7 +81,7 @@ func (e *Entry) Doomed() bool { return e.doomed }
 type Pool struct {
 	capacity int64
 	used     int64
-	entries  map[Key]*Entry           // visible (non-doomed) entries
+	entries  map[Key]*Entry            // visible (non-doomed) entries
 	bySrc    map[int64]map[*Entry]bool // source ID -> entries, for invalidation
 	lru      *list.List                // front = most recently used ready entry
 }

@@ -166,6 +166,9 @@ func TestMergeAssociative(t *testing.T) {
 		h.Observe(seed * 90)
 		h.Observe(seed * 9000)
 		r.Gauge("depth", "depth").Set(float64(seed))
+		// Windowed gauges as published by the ops plane merge like any
+		// other gauge (summed across sources).
+		r.Gauge("northup_window_arrivals", "windowed arrivals", L("tenant", "t")).Set(float64(seed * 7))
 		return r
 	}
 	exportOf := func(order []int64) string {
@@ -199,6 +202,35 @@ func TestMergeAssociative(t *testing.T) {
 	}
 	if got := flat["span_ns_count"]; got != 6 {
 		t.Fatalf("merged histogram count = %v, want 6", got)
+	}
+	if got := flat[`northup_window_arrivals{tenant="t"}`]; got != 42 {
+		t.Fatalf("merged window gauge = %v, want 42", got)
+	}
+}
+
+// TestMergeHistogramBucketMismatchPanics checks that folding together two
+// histograms with different bucket layouts fails loudly instead of
+// producing a silently corrupt distribution.
+func TestMergeHistogramBucketMismatchPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		bounds []int64
+	}{
+		{"different length", []int64{100}},
+		{"different bounds", []int64{100, 20000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := NewRegistry()
+			dst.Histogram("span_ns", "spans", []int64{100, 10000}).Observe(50)
+			src := NewRegistry()
+			src.Histogram("span_ns", "spans", tc.bounds).Observe(50)
+			defer func() {
+				if recover() == nil {
+					t.Fatal("merge across bucket layouts did not panic")
+				}
+			}()
+			dst.Merge(src)
+		})
 	}
 }
 

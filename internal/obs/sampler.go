@@ -48,7 +48,7 @@ type Sampler struct {
 	reg       *Registry
 	tick      sim.Time
 	maxPoints int
-	next      sim.Time            // next tick boundary to record
+	next      sim.Time // next tick boundary to record
 	series    map[string][]SamplePoint
 }
 

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestWindowDeltaOver drives a cumulative counter through step-boundary
+// samples and checks the trailing delta at several widths, including the
+// clipped (wider-than-history) case.
+func TestWindowDeltaOver(t *testing.T) {
+	w := NewWindow(10*sim.Second, sim.Second)
+	// Cumulative value grows 0,1,3,6,10,... (+i at step i).
+	v := 0.0
+	for i := 0; i <= 5; i++ {
+		v += float64(i)
+		w.Record(sim.Time(i)*sim.Second, v)
+	}
+	if got := w.Latest(); got != 15 {
+		t.Fatalf("Latest = %v, want 15", got)
+	}
+	// Trailing 2s: latest(15) - sample at t=3 (6) = 9.
+	if got := w.DeltaOver(2 * sim.Second); got != 9 {
+		t.Fatalf("DeltaOver(2s) = %v, want 9", got)
+	}
+	// Wider than history: clips to the oldest sample (0 at t=0).
+	if got := w.DeltaOver(time100); got != 15 {
+		t.Fatalf("DeltaOver(100s) = %v, want 15 (clipped)", got)
+	}
+	// Width 0: base is the latest sample itself, delta 0.
+	if got := w.DeltaOver(0); got != 0 {
+		t.Fatalf("DeltaOver(0) = %v, want 0", got)
+	}
+}
+
+const time100 = 100 * sim.Second
+
+// TestWindowRingEviction overfills the ring and checks that wide queries
+// degrade to the oldest retained sample instead of reading stale slots.
+func TestWindowRingEviction(t *testing.T) {
+	w := NewWindow(3*sim.Second, sim.Second) // retains 5 samples
+	for i := 0; i <= 9; i++ {
+		w.Record(sim.Time(i)*sim.Second, float64(i))
+	}
+	// Oldest retained sample is t=5s, value 5; latest is 9.
+	if got := w.DeltaOver(time100); got != 4 {
+		t.Fatalf("clipped DeltaOver = %v, want 4 (latest 9 - oldest retained 5)", got)
+	}
+	if got := w.DeltaOver(2 * sim.Second); got != 2 {
+		t.Fatalf("DeltaOver(2s) = %v, want 2", got)
+	}
+}
+
+// TestWindowMaxOver checks the gauge-style windowed extreme.
+func TestWindowMaxOver(t *testing.T) {
+	w := NewWindow(10*sim.Second, sim.Second)
+	for i, v := range []float64{1, 7, 3, 2, 5} {
+		w.Record(sim.Time(i)*sim.Second, v)
+	}
+	if got := w.MaxOver(2 * sim.Second); got != 5 {
+		t.Fatalf("MaxOver(2s) = %v, want 5 (samples 3,2,5)", got)
+	}
+	if got := w.MaxOver(time100); got != 7 {
+		t.Fatalf("MaxOver(100s) = %v, want 7", got)
+	}
+}
+
+// TestHistSnapshotSubQuantile observes two batches into one histogram and
+// checks the subtracted snapshot isolates the second batch's distribution.
+func TestHistSnapshotSubQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", "latency", []int64{10, 100, 1000})
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(5)
+	base := h.Snap()
+	h.Observe(500)
+	h.Observe(500)
+	cur := h.Snap()
+
+	win := cur.Sub(base)
+	if got := win.Count(); got != 2 {
+		t.Fatalf("windowed Count = %d, want 2", got)
+	}
+	if got := win.Sum(); got != 1000 {
+		t.Fatalf("windowed Sum = %d, want 1000", got)
+	}
+	// Both windowed observations land past the 100 bound; the estimate
+	// clamps to the source's lifetime max (500) below the 1000 bound.
+	if got := win.Quantile(0.5); got != 500 {
+		t.Fatalf("windowed p50 = %d, want 500", got)
+	}
+	// The full histogram's p50 is still dominated by the early 5s.
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("lifetime p50 = %d, want 10", got)
+	}
+}
+
+// TestHistSnapshotSubMismatchPanics mirrors Merge's contract: subtracting
+// snapshots with different bucket layouts must fail loudly.
+func TestHistSnapshotSubMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("a_ns", "a", []int64{10, 100}).Snap()
+	b := r.Histogram("b_ns", "b", []int64{10, 100, 1000}).Snap()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sub across bucket layouts did not panic")
+		}
+	}()
+	_ = b.Sub(a)
+}
+
+// TestHistWindowOver drives a snapshot ring and checks the windowed
+// distribution at a narrow and a clipped width.
+func TestHistWindowOver(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", "latency", []int64{10, 100, 1000})
+	w := NewHistWindow(h, 10*sim.Second, sim.Second)
+
+	w.Record(0)
+	h.Observe(5)
+	w.Record(1 * sim.Second)
+	h.Observe(500)
+	h.Observe(500)
+	w.Record(2 * sim.Second)
+
+	// Trailing 1s: only the two 500s (quantile clamps to the lifetime max).
+	s := w.Over(1 * sim.Second)
+	if s.Count() != 2 || s.Quantile(0.5) != 500 {
+		t.Fatalf("Over(1s): count=%d p50=%d, want 2 and 500", s.Count(), s.Quantile(0.5))
+	}
+	// Clipped: everything.
+	s = w.Over(time100)
+	if s.Count() != 3 {
+		t.Fatalf("Over(100s): count=%d, want 3", s.Count())
+	}
+	// Before two snapshots exist the window is empty.
+	w2 := NewHistWindow(h, sim.Second, sim.Second)
+	w2.Record(0)
+	if got := w2.Over(sim.Second).Count(); got != 0 {
+		t.Fatalf("single-snapshot Over count = %d, want 0", got)
+	}
+}

@@ -1,0 +1,194 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// This file is the SLO burn-rate alert engine: declarative rules evaluated
+// at every plane tick, in virtual time, producing a deterministic
+// fire/resolve timeline.
+//
+// Rules follow the multiwindow burn-rate pattern: a rule names a value
+// function (typically an error-budget burn rate) and two trailing windows,
+// fast and slow. It fires only when the value exceeds the threshold over
+// BOTH windows — the fast window makes the alert responsive, the slow
+// window keeps a brief blip from paging — and resolves as soon as either
+// window drops back under the threshold. Fire and resolve instants land on
+// plane ticks, so the timeline is exactly reproducible for a given
+// scenario and seed.
+
+// Severity levels a rule may declare. Free-form strings are accepted by
+// the engine; these are the conventional ones the serve DSL validates.
+const (
+	SeverityPage   = "page"
+	SeverityTicket = "ticket"
+	SeverityWarn   = "warn"
+)
+
+// Rule is one declarative alert: fire when Value exceeds Threshold over
+// both the fast and the slow trailing window.
+type Rule struct {
+	// Name identifies the rule in the timeline and metrics.
+	Name string
+	// Subject labels what the rule watches (a tenant name in serve).
+	Subject string
+	// Severity is the operator-facing urgency (page/ticket/warn).
+	Severity string
+	// Threshold is the firing level for Value over both windows.
+	Threshold float64
+	// Fast and Slow are the two trailing windows. Fast <= Slow.
+	Fast, Slow sim.Time
+	// Value returns the rule's metric over the trailing width at the
+	// current tick — e.g. an error-budget burn rate assembled from watch
+	// handles. It must be deterministic and side-effect free.
+	Value func(width sim.Time) float64
+}
+
+// ruleState is a rule plus its live alerting state and metric handles.
+type ruleState struct {
+	Rule
+	firing      bool
+	firingG     *obs.Gauge
+	fired       *obs.Counter
+	resolved    *obs.Counter
+	activeSince sim.Time
+}
+
+// AlertState names the two timeline transitions.
+const (
+	StateFiring   = "firing"
+	StateResolved = "resolved"
+)
+
+// AlertEvent is one transition of one rule: the deterministic unit of the
+// alert timeline.
+type AlertEvent struct {
+	// Rule and Subject identify the transitioned rule instance.
+	Rule    string `json:"rule"`
+	Subject string `json:"subject,omitempty"`
+	// Severity echoes the rule's severity.
+	Severity string `json:"severity"`
+	// State is "firing" or "resolved".
+	State string `json:"state"`
+	// TNS is the transition instant in virtual nanoseconds.
+	TNS int64 `json:"t_ns"`
+	// Fast and Slow are the rule value over each window at the transition.
+	Fast float64 `json:"fast"`
+	Slow float64 `json:"slow"`
+	// Attribution, on firing transitions, names the hottest lanes and
+	// span names inside the fast burn window (nil when no trace recorder
+	// is attached).
+	Attribution *Attribution `json:"attribution,omitempty"`
+}
+
+// AddRule registers a rule. Rules are evaluated in registration order at
+// every tick, after the watches refresh.
+func (p *Plane) AddRule(r Rule) error {
+	if p.sealed {
+		panic("ops: rules must be added before the first Tick")
+	}
+	if r.Name == "" {
+		return fmt.Errorf("ops: rule has no name")
+	}
+	if r.Value == nil {
+		return fmt.Errorf("ops: rule %q has no value function", r.Name)
+	}
+	if r.Fast <= 0 || r.Slow <= 0 {
+		return fmt.Errorf("ops: rule %q windows must be positive", r.Name)
+	}
+	if r.Fast > r.Slow {
+		return fmt.Errorf("ops: rule %q fast window %v exceeds slow window %v", r.Name, r.Fast, r.Slow)
+	}
+	if r.Severity == "" {
+		r.Severity = SeverityPage
+	}
+	for _, s := range p.rules {
+		if s.Name == r.Name && s.Subject == r.Subject {
+			return fmt.Errorf("ops: duplicate rule %q for subject %q", r.Name, r.Subject)
+		}
+	}
+	lbls := []obs.Label{obs.L("rule", r.Name)}
+	if r.Subject != "" {
+		lbls = append(lbls, obs.L("subject", r.Subject))
+	}
+	s := &ruleState{Rule: r}
+	s.firingG = p.reg.Gauge("northup_alert_firing", "1 while the rule's burn condition holds", lbls...)
+	s.fired = p.reg.Counter("northup_alert_transitions_total", "alert state transitions",
+		append(append([]obs.Label(nil), lbls...), obs.L("state", StateFiring))...)
+	s.resolved = p.reg.Counter("northup_alert_transitions_total", "alert state transitions",
+		append(append([]obs.Label(nil), lbls...), obs.L("state", StateResolved))...)
+	p.rules = append(p.rules, s)
+	return nil
+}
+
+// evalRules runs every rule against the freshly recorded windows.
+func (p *Plane) evalRules(now sim.Time) {
+	for _, s := range p.rules {
+		fast := s.Value(s.Fast)
+		slow := s.Value(s.Slow)
+		burning := fast > s.Threshold && slow > s.Threshold
+		if burning == s.firing {
+			continue
+		}
+		s.firing = burning
+		ev := AlertEvent{
+			Rule:     s.Name,
+			Subject:  s.Subject,
+			Severity: s.Severity,
+			TNS:      int64(now),
+			Fast:     fast,
+			Slow:     slow,
+		}
+		if burning {
+			ev.State = StateFiring
+			s.activeSince = now
+			s.fired.Inc()
+			s.firingG.Set(1)
+			if p.OnFire != nil {
+				p.OnFire(&ev)
+			}
+		} else {
+			ev.State = StateResolved
+			s.resolved.Inc()
+			s.firingG.Set(0)
+		}
+		p.events = append(p.events, ev)
+	}
+}
+
+// Events returns the alert timeline so far, in transition order.
+func (p *Plane) Events() []AlertEvent { return p.events }
+
+// FiringAlert is one currently-active alert in a health snapshot.
+type FiringAlert struct {
+	Rule     string `json:"rule"`
+	Subject  string `json:"subject,omitempty"`
+	Severity string `json:"severity"`
+	SinceNS  int64  `json:"since_ns"`
+}
+
+// Firing returns the currently-active alerts in rule registration order.
+func (p *Plane) Firing() []FiringAlert {
+	var out []FiringAlert
+	for _, s := range p.rules {
+		if s.firing {
+			out = append(out, FiringAlert{Rule: s.Name, Subject: s.Subject,
+				Severity: s.Severity, SinceNS: int64(s.activeSince)})
+		}
+	}
+	return out
+}
+
+// FiringFor returns the active alerts whose subject matches.
+func (p *Plane) FiringFor(subject string) []FiringAlert {
+	var out []FiringAlert
+	for _, a := range p.Firing() {
+		if a.Subject == subject {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package ops
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Health attribution: when a rule fires, name what was hot inside the burn
+// window. The query is a thin composition of the trace layer's windowed
+// per-node metrics (trace.Summarize clipped to [start, end]) — attribution
+// numbers are therefore the trace numbers, bit for bit, which the
+// reconciliation test in internal/serve holds them to. This is the
+// DaPPA-style step past tenant aggregates: a burning SLO is pinned to the
+// nodes and kernels that consumed the window.
+
+// HotLane is one (node, track) lane ranked by busy time in a burn window.
+type HotLane struct {
+	Node   int    `json:"node"`
+	Track  string `json:"track"`
+	Spans  int    `json:"spans"`
+	BusyNS int64  `json:"busy_ns"`
+	Bytes  int64  `json:"bytes,omitempty"`
+}
+
+// HotName is one span name (a kernel, a move, a task stage) ranked by
+// window-clipped duration.
+type HotName struct {
+	Name   string `json:"name"`
+	Node   int    `json:"node"`
+	Spans  int    `json:"spans"`
+	BusyNS int64  `json:"busy_ns"`
+}
+
+// Attribution is the top-K health report attached to a firing alert.
+type Attribution struct {
+	// StartNS/EndNS delimit the analysed burn window in virtual time.
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// Events is how many trace events fell inside the window's analysis.
+	Events int `json:"events"`
+	// Lanes are the top-K lanes by interval-union busy time.
+	Lanes []HotLane `json:"lanes,omitempty"`
+	// Names are the top-K span names by summed clipped duration.
+	Names []HotName `json:"names,omitempty"`
+}
+
+// Attribute builds the top-K report for a burn window from a trace event
+// stream. k bounds both lists; events outside [start, end) contribute only
+// their overlap. A nil/empty stream yields an empty report (the recorder
+// may have dropped the window's events, or tracing may be off).
+func Attribute(events []trace.Event, start, end sim.Time, k int) *Attribution {
+	if k <= 0 {
+		k = 3
+	}
+	sum := trace.Summarize(events, trace.SummaryOptions{Start: start, End: end})
+	a := &Attribution{StartNS: int64(start), EndNS: int64(end), Events: sum.Events}
+	for _, lm := range sum.TopLanes(k) {
+		a.Lanes = append(a.Lanes, HotLane{
+			Node:   lm.Lane.Node,
+			Track:  lm.Lane.Track,
+			Spans:  lm.Spans,
+			BusyNS: int64(lm.Busy),
+			Bytes:  lm.Bytes,
+		})
+	}
+	for _, na := range trace.TopNames(events, start, end, k) {
+		a.Names = append(a.Names, HotName{
+			Name:   na.Name,
+			Node:   na.Node,
+			Spans:  na.Spans,
+			BusyNS: int64(na.Busy),
+		})
+	}
+	return a
+}

@@ -1,0 +1,297 @@
+// Package ops is the live operations plane of the Northup reproduction:
+// the layer that turns the obs registry's cumulative counters into a
+// watchable, alertable view of a run while it is still in flight.
+//
+// Where package obs answers "how much, in total so far", ops answers the
+// SRE questions: how fast is tenant X burning its error budget *right
+// now*, what was its p99 over the last five minutes, which rule is firing
+// and since when, and which nodes were hottest inside the burn window. It
+// is built from three parts:
+//
+//   - Windowed aggregation (this file): a Plane owns a set of watches —
+//     counters, gauges and histograms sampled at a fixed virtual-time step
+//     into obs window rings — and publishes, at every step, the trailing
+//     windowed value of each (rate deltas, window extremes, windowed
+//     quantiles) both as gauges in its own registry (northup_window_*) and
+//     as an append-only series for JSON export.
+//
+//   - A multiwindow burn-rate alert engine (alerts.go): declarative rules
+//     (name, subject, threshold, fast/slow windows) evaluated at every
+//     step, producing a deterministic fire/resolve timeline and
+//     northup_alert_* metrics.
+//
+//   - Health attribution (attr.go): when a rule fires, a top-K query over
+//     the trace event stream names the busiest lanes and span names inside
+//     the burn window, reconciling bit-for-bit with trace.Summarize.
+//
+// Everything is evaluated in virtual time from the single simulation
+// goroutine: the same scenario and seed produce byte-identical window
+// series, alert timelines and health snapshots, which is what makes the
+// plane's output testable and its alerts replayable. TREES-style epoch
+// synchronization is the model: periodic global evaluation points that
+// are part of the deterministic schedule, not wall-clock observers.
+package ops
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// DefaultStep is the evaluation period when a Config leaves it zero.
+const DefaultStep = sim.Second
+
+// DefaultWidth is the rolling-window width when a Config leaves it zero.
+const DefaultWidth = 10 * sim.Second
+
+// Config sizes a Plane.
+type Config struct {
+	// Width is the default trailing-window width for watched series.
+	Width sim.Time
+	// Step is the evaluation period: watches are sampled and rules
+	// evaluated at every multiple of Step (plus one final evaluation at
+	// drain time).
+	Step sim.Time
+	// MaxWindow is the widest trailing window any rule will query; rings
+	// retain this much history. Queries past the retained horizon clip to
+	// the oldest sample. Defaults to Width.
+	MaxWindow sim.Time
+}
+
+// watch is one windowed source: a cumulative counter read (delta
+// semantics), a gauge read (max semantics), or a histogram quantile.
+type watch struct {
+	name  string // full metric name (family + labels), the series key
+	gauge *obs.Gauge
+	win   *obs.Window
+	hwin  *obs.HistWindow
+	read  func() float64
+	mode  watchMode
+	q     float64 // quantile for mode watchQuantile
+	width sim.Time
+}
+
+type watchMode uint8
+
+const (
+	watchDelta    watchMode = iota // windowed change of a cumulative value
+	watchMax                       // windowed max of a sampled value
+	watchQuantile                  // windowed histogram quantile
+	watchCount                     // windowed histogram observation count
+)
+
+// Plane is the live-operations evaluator: watches + rules + their outputs.
+// It is driven from the simulation goroutine via Tick and needs no locking
+// of its own; callers that expose it over HTTP serialize around the
+// simulation (see internal/serve's live server).
+type Plane struct {
+	width, step sim.Time
+	maxWindow   sim.Time // widest window any watch or rule needs
+	reg         *obs.Registry
+
+	watches []*watch
+	hwins   map[*obs.Histogram]*obs.HistWindow // shared snapshot rings
+	rules   []*ruleState
+
+	series   map[string][]obs.SamplePoint
+	order    []string // series registration order, for deterministic export
+	events   []AlertEvent
+	lastTick sim.Time
+	ticks    int64
+
+	evals *obs.Counter
+
+	// OnFire, when non-nil, is invoked for every rule transition into the
+	// firing state, before the event is appended — the attribution hook.
+	// It may fill ev.Attribution; it must not re-enter the Plane.
+	OnFire func(ev *AlertEvent)
+
+	sealed bool
+}
+
+// NewPlane builds a plane with its own private registry for
+// northup_window_* and northup_alert_* instruments.
+func NewPlane(cfg Config) *Plane {
+	if cfg.Step <= 0 {
+		cfg.Step = DefaultStep
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = DefaultWidth
+	}
+	if cfg.Width < cfg.Step {
+		cfg.Width = cfg.Step
+	}
+	if cfg.MaxWindow < cfg.Width {
+		cfg.MaxWindow = cfg.Width
+	}
+	p := &Plane{
+		width:     cfg.Width,
+		step:      cfg.Step,
+		maxWindow: cfg.MaxWindow,
+		reg:       obs.NewRegistry(),
+		hwins:     map[*obs.Histogram]*obs.HistWindow{},
+		series:    map[string][]obs.SamplePoint{},
+		lastTick:  -1,
+	}
+	p.evals = p.reg.Counter("northup_ops_evals_total", "window/rule evaluation passes run by the ops plane")
+	return p
+}
+
+// Step returns the plane's evaluation period.
+func (p *Plane) Step() sim.Time { return p.step }
+
+// Width returns the plane's default window width.
+func (p *Plane) Width() sim.Time { return p.width }
+
+// Registry returns the plane's own registry (window gauges, alert metrics).
+func (p *Plane) Registry() *obs.Registry { return p.reg }
+
+// Handle is a windowed view over one watched source, usable by rule value
+// functions to read the same rings the series are built from.
+type Handle struct {
+	p *Plane
+	w *watch
+}
+
+// Over returns the watch's windowed value over the trailing width: the
+// delta for counters, the max for gauges, the quantile or count for
+// histograms.
+func (h Handle) Over(width sim.Time) float64 {
+	switch h.w.mode {
+	case watchDelta:
+		return h.w.win.DeltaOver(width)
+	case watchMax:
+		return h.w.win.MaxOver(width)
+	case watchQuantile:
+		return float64(h.w.hwin.Over(width).Quantile(h.w.q))
+	case watchCount:
+		return float64(h.w.hwin.Over(width).Count())
+	}
+	return 0
+}
+
+// WatchCounter registers a cumulative source; its windowed series is the
+// delta over the plane width, and the handle answers DeltaOver queries.
+// name/help/labels shape the northup_window_* gauge in the plane registry.
+func (p *Plane) WatchCounter(name, help string, read func() float64, labels ...obs.Label) Handle {
+	return p.addWatch(name, help, read, watchDelta, 0, nil, labels)
+}
+
+// WatchGauge registers an instantaneous source; its windowed series is the
+// max over the plane width.
+func (p *Plane) WatchGauge(name, help string, read func() float64, labels ...obs.Label) Handle {
+	return p.addWatch(name, help, read, watchMax, 0, nil, labels)
+}
+
+// WatchQuantile registers a windowed quantile of a fixed-bucket histogram.
+// Multiple quantiles of one histogram share a single snapshot ring.
+func (p *Plane) WatchQuantile(name, help string, h *obs.Histogram, q float64, labels ...obs.Label) Handle {
+	return p.addWatch(name, help, nil, watchQuantile, q, h, labels)
+}
+
+// WatchHistCount registers the windowed observation count of a histogram.
+func (p *Plane) WatchHistCount(name, help string, h *obs.Histogram, labels ...obs.Label) Handle {
+	return p.addWatch(name, help, nil, watchCount, 0, h, labels)
+}
+
+func (p *Plane) addWatch(name, help string, read func() float64, mode watchMode, q float64, h *obs.Histogram, labels []obs.Label) Handle {
+	if p.sealed {
+		panic("ops: watches and rules must be added before the first Tick")
+	}
+	w := &watch{
+		gauge: p.reg.Gauge(name, help, labels...),
+		read:  read,
+		mode:  mode,
+		q:     q,
+		width: p.width,
+	}
+	w.name = fullName(name, labels)
+	if _, dup := p.series[w.name]; dup {
+		panic(fmt.Sprintf("ops: duplicate watch %q", w.name))
+	}
+	if h != nil {
+		hw := p.hwins[h]
+		if hw == nil {
+			hw = obs.NewHistWindow(h, p.ringWidth(), p.step)
+			p.hwins[h] = hw
+		}
+		w.hwin = hw
+	} else {
+		w.win = obs.NewWindow(p.ringWidth(), p.step)
+	}
+	p.watches = append(p.watches, w)
+	p.series[w.name] = nil
+	p.order = append(p.order, w.name)
+	return Handle{p: p, w: w}
+}
+
+// ringWidth is the retention every ring is sized for: the widest window
+// any watch or rule will query (Config.MaxWindow).
+func (p *Plane) ringWidth() sim.Time { return p.maxWindow }
+
+// fullName renders family+labels exactly like the obs registry keys its
+// instruments, so plane series names match the registry's gauge names.
+func fullName(name string, labels []obs.Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]obs.Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	out := name + "{"
+	for i, l := range ls {
+		if i > 0 {
+			out += ","
+		}
+		out += l.Name + `="` + l.Value + `"`
+	}
+	return out + "}"
+}
+
+// Tick runs one evaluation pass at virtual instant now: sample every
+// watch, publish windowed values (gauge + series point), then evaluate
+// every rule. Repeated calls at one instant collapse to the first; the
+// caller drives Tick from step-aligned callbacks plus one final call at
+// drain time.
+func (p *Plane) Tick(now sim.Time) {
+	if now == p.lastTick {
+		return
+	}
+	p.sealed = true
+	p.lastTick = now
+	p.ticks++
+	p.evals.Inc()
+
+	recorded := map[*obs.HistWindow]bool{}
+	for _, w := range p.watches {
+		if w.hwin != nil {
+			if !recorded[w.hwin] {
+				w.hwin.Record(now)
+				recorded[w.hwin] = true
+			}
+		} else {
+			w.win.Record(now, w.read())
+		}
+	}
+	for _, w := range p.watches {
+		v := (Handle{p: p, w: w}).Over(w.width)
+		w.gauge.Set(v)
+		p.series[w.name] = append(p.series[w.name], obs.SamplePoint{T: now, V: v})
+	}
+	p.evalRules(now)
+}
+
+// Ticks returns how many evaluation passes have run.
+func (p *Plane) Ticks() int64 { return p.ticks }
+
+// Series returns every windowed series in watch-registration order —
+// deterministic, like everything else the plane emits.
+func (p *Plane) Series() []obs.Series {
+	out := make([]obs.Series, 0, len(p.order))
+	for _, name := range p.order {
+		out = append(out, obs.Series{Name: name,
+			Points: append([]obs.SamplePoint(nil), p.series[name]...)})
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package ops
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestWatchModes drives one plane tick per virtual second and checks that
+// each watch mode publishes the expected windowed value, both through its
+// handle and in the exported series.
+func TestWatchModes(t *testing.T) {
+	p := NewPlane(Config{Step: sim.Second, Width: 2 * sim.Second})
+	reg := obs.NewRegistry()
+
+	var total float64
+	var depth float64
+	hist := reg.Histogram("lat_ns", "latency", []int64{10, 100, 1000})
+
+	hc := p.WatchCounter("northup_window_errs", "windowed errors", func() float64 { return total })
+	hg := p.WatchGauge("northup_window_depth", "windowed depth", func() float64 { return depth })
+	hq := p.WatchQuantile("northup_window_p50_ns", "windowed p50", hist, 0.50)
+	hn := p.WatchHistCount("northup_window_lat_count", "windowed observations", hist)
+
+	// t=0: empty baseline.
+	p.Tick(0)
+	// t=1s: +5 errors, depth spikes to 9, two fast observations.
+	total, depth = 5, 9
+	hist.Observe(5)
+	hist.Observe(5)
+	p.Tick(1 * sim.Second)
+	// t=2s: +1 error, depth settles, one slow observation.
+	total, depth = 6, 2
+	hist.Observe(500)
+	p.Tick(2 * sim.Second)
+
+	if got := hc.Over(2 * sim.Second); got != 6 {
+		t.Errorf("counter delta over 2s = %v, want 6", got)
+	}
+	if got := hc.Over(1 * sim.Second); got != 1 {
+		t.Errorf("counter delta over 1s = %v, want 1", got)
+	}
+	if got := hg.Over(2 * sim.Second); got != 9 {
+		t.Errorf("gauge max over 2s = %v, want 9", got)
+	}
+	if got := hn.Over(1 * sim.Second); got != 1 {
+		t.Errorf("hist count over 1s = %v, want 1", got)
+	}
+	if got := hn.Over(2 * sim.Second); got != 3 {
+		t.Errorf("hist count over 2s = %v, want 3", got)
+	}
+	// Trailing 1s holds only the 500ns observation; p50 clamps to the
+	// histogram's lifetime max.
+	if got := hq.Over(1 * sim.Second); got != 500 {
+		t.Errorf("p50 over 1s = %v, want 500", got)
+	}
+
+	// The registry gauges and the series mirror the handles at plane width.
+	flat := p.Registry().Flatten()
+	if got := flat["northup_window_errs"]; got != 6 {
+		t.Errorf("window gauge = %v, want 6", got)
+	}
+	series := p.Series()
+	if len(series) != 4 {
+		t.Fatalf("got %d series, want 4", len(series))
+	}
+	if series[0].Name != "northup_window_errs" {
+		t.Fatalf("series[0] = %q, want registration order", series[0].Name)
+	}
+	pts := series[0].Points
+	if len(pts) != 3 || pts[2].V != 6 {
+		t.Fatalf("errs series = %+v, want 3 points ending at 6", pts)
+	}
+}
+
+// TestTickDedupesAndSeals checks that repeated ticks at one instant
+// collapse, and that registration after the first tick panics.
+func TestTickDedupesAndSeals(t *testing.T) {
+	p := NewPlane(Config{})
+	p.WatchCounter("northup_window_x", "x", func() float64 { return 0 })
+	p.Tick(0)
+	p.Tick(0) // duplicate: final drain tick may land on a step boundary
+	if got := p.Ticks(); got != 1 {
+		t.Fatalf("Ticks = %d, want 1 after deduped pair", got)
+	}
+	if got := len(p.Series()[0].Points); got != 1 {
+		t.Fatalf("series has %d points, want 1", got)
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s after first Tick did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("WatchCounter", func() {
+		p.WatchCounter("northup_window_y", "y", func() float64 { return 0 })
+	})
+	mustPanic("AddRule", func() {
+		p.AddRule(Rule{Name: "r", Fast: sim.Second, Slow: sim.Second,
+			Value: func(sim.Time) float64 { return 0 }})
+	})
+}
+
+// TestDuplicateWatchPanics checks the series-name collision guard.
+func TestDuplicateWatchPanics(t *testing.T) {
+	p := NewPlane(Config{})
+	p.WatchCounter("northup_window_x", "x", func() float64 { return 0 }, obs.L("tenant", "a"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate watch did not panic")
+		}
+	}()
+	p.WatchCounter("northup_window_x", "x", func() float64 { return 0 }, obs.L("tenant", "a"))
+}
+
+// TestAddRuleValidation walks the rule-rejection paths.
+func TestAddRuleValidation(t *testing.T) {
+	p := NewPlane(Config{})
+	v := func(sim.Time) float64 { return 0 }
+	ok := Rule{Name: "r", Subject: "t", Fast: sim.Second, Slow: 2 * sim.Second, Value: v}
+	if err := p.AddRule(ok); err != nil {
+		t.Fatalf("valid rule rejected: %v", err)
+	}
+	for name, r := range map[string]Rule{
+		"no name":          {Subject: "t", Fast: sim.Second, Slow: sim.Second, Value: v},
+		"no value":         {Name: "r2", Fast: sim.Second, Slow: sim.Second},
+		"zero fast window": {Name: "r3", Fast: 0, Slow: sim.Second, Value: v},
+		"fast > slow":      {Name: "r4", Fast: 2 * sim.Second, Slow: sim.Second, Value: v},
+		"duplicate":        ok,
+	} {
+		if err := p.AddRule(r); err == nil {
+			t.Errorf("%s: rule accepted, want error", name)
+		}
+	}
+	// Same name under a different subject is a distinct rule instance.
+	dup := ok
+	dup.Subject = "u"
+	if err := p.AddRule(dup); err != nil {
+		t.Fatalf("same rule name for another subject rejected: %v", err)
+	}
+}
+
+// driveBurn runs a fixed multiwindow burn scenario against a fresh plane
+// and returns it: a cumulative error counter jumps at t=4s, holds through
+// t=6s, and goes quiet, so a (fast 2s, slow 4s) rule fires once and
+// resolves once at deterministic instants.
+func driveBurn(t *testing.T, onFire func(*AlertEvent)) *Plane {
+	t.Helper()
+	p := NewPlane(Config{Step: sim.Second, Width: 2 * sim.Second, MaxWindow: 4 * sim.Second})
+	var total float64
+	h := p.WatchCounter("northup_window_errs", "windowed errors",
+		func() float64 { return total }, obs.L("tenant", "bursty"))
+	err := p.AddRule(Rule{
+		Name: "err-burn", Subject: "bursty", Severity: SeverityTicket,
+		Threshold: 0.5, Fast: 2 * sim.Second, Slow: 4 * sim.Second,
+		Value: func(w sim.Time) float64 { return h.Over(w) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.OnFire = onFire
+	for i := 0; i <= 8; i++ {
+		switch i {
+		case 4:
+			total += 3
+		case 5:
+			total += 3
+		}
+		p.Tick(sim.Time(i) * sim.Second)
+	}
+	return p
+}
+
+// TestMultiwindowFireResolve checks the burn-rate state machine: the rule
+// fires only when the value clears the threshold over BOTH windows, and
+// resolves as soon as the fast window drops back under.
+func TestMultiwindowFireResolve(t *testing.T) {
+	p := driveBurn(t, nil)
+
+	evs := p.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d alert events, want 2: %+v", len(evs), evs)
+	}
+	fire, res := evs[0], evs[1]
+	if fire.State != StateFiring || fire.TNS != int64(4*sim.Second) {
+		t.Fatalf("fire event = %+v, want firing at t=4s", fire)
+	}
+	if fire.Rule != "err-burn" || fire.Subject != "bursty" || fire.Severity != SeverityTicket {
+		t.Fatalf("fire identity = %+v", fire)
+	}
+	if fire.Fast != 3 || fire.Slow != 3 {
+		t.Fatalf("fire values fast=%v slow=%v, want 3/3", fire.Fast, fire.Slow)
+	}
+	// Fast window (2s) empties two steps after the last jump at t=5s.
+	if res.State != StateResolved || res.TNS != int64(7*sim.Second) {
+		t.Fatalf("resolve event = %+v, want resolved at t=7s", res)
+	}
+
+	if got := p.Firing(); len(got) != 0 {
+		t.Fatalf("Firing after resolve = %+v, want none", got)
+	}
+	flat := p.Registry().Flatten()
+	if got := flat[`northup_alert_firing{rule="err-burn",subject="bursty"}`]; got != 0 {
+		t.Errorf("firing gauge = %v, want 0", got)
+	}
+	if got := flat[`northup_alert_transitions_total{rule="err-burn",state="firing",subject="bursty"}`]; got != 1 {
+		t.Errorf("firing transitions = %v, want 1", got)
+	}
+	if got := flat[`northup_alert_transitions_total{rule="err-burn",state="resolved",subject="bursty"}`]; got != 1 {
+		t.Errorf("resolved transitions = %v, want 1", got)
+	}
+}
+
+// TestFiringSnapshotMidBurn re-drives the burn partway and checks the
+// active-alert view while the rule holds.
+func TestFiringSnapshotMidBurn(t *testing.T) {
+	p := NewPlane(Config{Step: sim.Second, Width: 2 * sim.Second, MaxWindow: 4 * sim.Second})
+	var total float64
+	h := p.WatchCounter("northup_window_errs", "windowed errors", func() float64 { return total })
+	if err := p.AddRule(Rule{Name: "err-burn", Subject: "bursty", Threshold: 0.5,
+		Fast: 2 * sim.Second, Slow: 4 * sim.Second,
+		Value: func(w sim.Time) float64 { return h.Over(w) }}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 5; i++ {
+		if i >= 4 {
+			total += 3
+		}
+		p.Tick(sim.Time(i) * sim.Second)
+	}
+	firing := p.Firing()
+	if len(firing) != 1 || firing[0].SinceNS != int64(4*sim.Second) {
+		t.Fatalf("Firing = %+v, want err-burn since t=4s", firing)
+	}
+	if got := p.FiringFor("bursty"); len(got) != 1 {
+		t.Fatalf("FiringFor(bursty) = %+v, want 1 alert", got)
+	}
+	if got := p.FiringFor("steady"); len(got) != 0 {
+		t.Fatalf("FiringFor(steady) = %+v, want none", got)
+	}
+}
+
+// TestOnFireAttribution checks the hook runs on firing transitions only and
+// that what it attaches lands in the timeline.
+func TestOnFireAttribution(t *testing.T) {
+	calls := 0
+	p := driveBurn(t, func(ev *AlertEvent) {
+		calls++
+		ev.Attribution = &Attribution{StartNS: ev.TNS - int64(2*sim.Second), EndNS: ev.TNS}
+	})
+	if calls != 1 {
+		t.Fatalf("OnFire ran %d times, want 1 (firing transitions only)", calls)
+	}
+	evs := p.Events()
+	if evs[0].Attribution == nil || evs[0].Attribution.EndNS != evs[0].TNS {
+		t.Fatalf("fire attribution = %+v", evs[0].Attribution)
+	}
+	if evs[1].Attribution != nil {
+		t.Fatalf("resolve event carries attribution: %+v", evs[1])
+	}
+}
+
+// TestPlaneDeterminism drives the same scenario twice and asserts the
+// series, timeline and registry export are byte-identical.
+func TestPlaneDeterminism(t *testing.T) {
+	render := func() (string, string, string) {
+		p := driveBurn(t, nil)
+		series, err := json.Marshal(p.Series())
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := json.Marshal(p.Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reg bytes.Buffer
+		if err := p.Registry().WritePrometheus(&reg); err != nil {
+			t.Fatal(err)
+		}
+		return string(series), string(events), reg.String()
+	}
+	s1, e1, r1 := render()
+	s2, e2, r2 := render()
+	if s1 != s2 {
+		t.Errorf("window series differ:\n%s\n%s", s1, s2)
+	}
+	if e1 != e2 {
+		t.Errorf("alert timelines differ:\n%s\n%s", e1, e2)
+	}
+	if r1 != r2 {
+		t.Errorf("registry exports differ:\n%s\n%s", r1, r2)
+	}
+}

@@ -13,12 +13,12 @@ func TestHooksFireAfterStateUpdate(t *testing.T) {
 	record := func() { depths = append(depths, d.Len()) }
 	d.OnPush, d.OnPop, d.OnSteal = record, record, record
 
-	d.PushTail(1) // len 1
-	d.PushTail(2) // len 2
+	d.PushTail(1)                  // len 1
+	d.PushTail(2)                  // len 2
 	if _, ok := d.PopTail(); !ok { // len 1
 		t.Fatal("pop failed")
 	}
-	d.PushTail(3) // len 2
+	d.PushTail(3)                    // len 2
 	if _, ok := d.StealHead(); !ok { // len 1
 		t.Fatal("steal failed")
 	}

@@ -2,11 +2,17 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"reflect"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/obs"
+	"repro/internal/ops"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // detScenario is the determinism suite's 2-tenant workload: every job kind
@@ -150,5 +156,252 @@ func TestMergedMetricsOrderIndependent(t *testing.T) {
 	}
 	if !bytes.Equal(fw.Bytes(), rv.Bytes()) {
 		t.Fatalf("merge order changed the merged registry:\n--- forward ---\n%s\n--- reverse ---\n%s", fw.String(), rv.String())
+	}
+}
+
+// detOpsScenario extends the determinism workload with the ops plane: a
+// 1ns SLO makes every completion of tenant a a violation, so the burn-rate
+// rule is guaranteed to fire, and wide rule windows clip to the run start.
+func detOpsScenario(seed int64) *Scenario {
+	scn := detScenario(seed)
+	scn.Name = "det-ops"
+	scn.Tenants[0].SLO = 1
+	scn.Ops = OpsSpec{Step: 10 * sim.Millisecond, Window: 50 * sim.Millisecond, TopK: 2}
+	scn.Alerts = []AlertRule{{
+		Name:       "a-burn",
+		Tenant:     "a",
+		Metric:     MetricSLOBurn,
+		Threshold:  10,
+		FastWindow: sim.Second,
+		SlowWindow: 2 * sim.Second,
+		Severity:   "page",
+	}}
+	scn.applyDefaults()
+	return scn
+}
+
+// detOpsRun executes an ops-enabled scenario flat out and returns the
+// engine plus its alert timeline and window series as JSON.
+func detOpsRun(t *testing.T, scn *Scenario) (*Engine, []byte, []byte) {
+	t.Helper()
+	e, err := New(scn, RunOptions{Phantom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	alerts, err := json.Marshal(e.AlertEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := json.Marshal(e.WindowSeries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, alerts, windows
+}
+
+// TestOpsOutputsByteIdentical extends the determinism promise to the ops
+// plane: same scenario and seed reproduce the alert timeline and every
+// windowed series byte for byte — and the timeline is not trivially empty.
+func TestOpsOutputsByteIdentical(t *testing.T) {
+	scn := detOpsScenario(17)
+	e1, alerts1, windows1 := detOpsRun(t, scn)
+	_, alerts2, windows2 := detOpsRun(t, scn)
+	if !bytes.Equal(alerts1, alerts2) {
+		t.Fatalf("alert timelines diverge:\n%s\n%s", alerts1, alerts2)
+	}
+	if !bytes.Equal(windows1, windows2) {
+		t.Fatalf("window series diverge:\n%s\n%s", windows1, windows2)
+	}
+	evs := e1.AlertEvents()
+	if len(evs) == 0 {
+		t.Fatal("burn rule never fired: the scenario no longer exercises the timeline")
+	}
+	if evs[0].State != ops.StateFiring || evs[0].Subject != "a" {
+		t.Fatalf("first transition = %+v, want tenant a firing", evs[0])
+	}
+}
+
+// TestOpsAttributionReconciles holds a firing alert's attribution to the
+// trace layer's own numbers: recomputing the top-K query over the recorded
+// events for the same burn window must reproduce it bit for bit.
+func TestOpsAttributionReconciles(t *testing.T) {
+	scn := detOpsScenario(29)
+	e, _, _ := detOpsRun(t, scn)
+	var fired *ops.AlertEvent
+	for i := range e.AlertEvents() {
+		ev := &e.AlertEvents()[i]
+		if ev.State == ops.StateFiring {
+			fired = ev
+			break
+		}
+	}
+	if fired == nil {
+		t.Fatal("no firing transition in the timeline")
+	}
+	if fired.Attribution == nil {
+		t.Fatal("firing event has no attribution")
+	}
+	end := sim.Time(fired.TNS)
+	start := end - scn.Alerts[0].FastWindow
+	if start < 0 {
+		start = 0
+	}
+	// The hook ran at the fire instant, when the recorder held only the
+	// activity already finished: spans land in the ring at their completion
+	// time. Reconstruct that prefix of the final stream before recomputing.
+	var visible []trace.Event
+	for _, ev := range e.TraceEvents() {
+		if ev.End() <= end {
+			visible = append(visible, ev)
+		}
+	}
+	want := ops.Attribute(visible, start, end, scn.Ops.TopK)
+	if !reflect.DeepEqual(fired.Attribution, want) {
+		t.Fatalf("attribution does not reconcile with trace.Summarize:\ngot  %+v\nwant %+v", fired.Attribution, want)
+	}
+	if fired.Attribution.Events == 0 || len(fired.Attribution.Lanes) == 0 {
+		t.Fatalf("attribution is empty: %+v", fired.Attribution)
+	}
+}
+
+// TestPacedRunMatchesFlatRun checks that slicing the simulation through
+// Live.RunPaced changes nothing: report, timeline and series match the
+// flat Engine.Run byte for byte.
+func TestPacedRunMatchesFlatRun(t *testing.T) {
+	scn := detOpsScenario(5)
+	_, flatAlerts, flatWindows := detOpsRun(t, scn)
+	flatRep, _, _, _ := detRun(t, scn, true)
+
+	e, err := New(scn, RunOptions{Phantom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLive(e)
+	rep, err := l.RunPaced(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var repBuf bytes.Buffer
+	if err := rep.WriteJSON(&repBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(repBuf.Bytes(), flatRep) {
+		t.Fatalf("paced report diverges from flat run:\n%s\n%s", repBuf.Bytes(), flatRep)
+	}
+	alerts, err := json.Marshal(e.AlertEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := json.Marshal(e.WindowSeries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(alerts, flatAlerts) || !bytes.Equal(windows, flatWindows) {
+		t.Fatal("paced ops outputs diverge from the flat run")
+	}
+}
+
+// adminGet runs one in-process request against the live admin plane.
+func adminGet(t *testing.T, h http.Handler, path string) []byte {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s = %d", path, rec.Code)
+	}
+	return rec.Body.Bytes()
+}
+
+// TestAdminEndpointsDeterministic runs the admin plane twice over the same
+// scenario and asserts every endpoint's terminal snapshot is
+// byte-identical; it also spot-checks the documents' content.
+func TestAdminEndpointsDeterministic(t *testing.T) {
+	scn := detOpsScenario(13)
+	paths := []string{"/healthz", "/tenants", "/alerts", "/metrics"}
+	snap := func() map[string][]byte {
+		e, err := New(scn, RunOptions{Phantom: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := NewLive(e)
+		if _, err := l.RunPaced(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		h := l.Handler()
+		out := map[string][]byte{}
+		for _, p := range paths {
+			out[p] = adminGet(t, h, p)
+		}
+		return out
+	}
+	a, b := snap(), snap()
+	for _, p := range paths {
+		if !bytes.Equal(a[p], b[p]) {
+			t.Errorf("%s snapshots diverge:\n%s\n%s", p, a[p], b[p])
+		}
+	}
+
+	var h Health
+	if err := json.Unmarshal(a["/healthz"], &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "done" || h.NowNS <= 0 {
+		t.Fatalf("healthz = %+v, want done with a positive clock", h)
+	}
+	var td TenantsDoc
+	if err := json.Unmarshal(a["/tenants"], &td); err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Tenants) != 2 || td.Tenants[0].Name != "a" {
+		t.Fatalf("tenants doc = %+v", td)
+	}
+	if td.Tenants[0].Completed == 0 || td.Tenants[0].SLOViolations == 0 {
+		t.Fatalf("tenant a health = %+v, want completions and violations", td.Tenants[0])
+	}
+	var ad AlertsDoc
+	if err := json.Unmarshal(a["/alerts"], &ad); err != nil {
+		t.Fatal(err)
+	}
+	if len(ad.Events) == 0 {
+		t.Fatal("alerts doc has no transitions")
+	}
+}
+
+// TestEngineStatsInReport checks the report's engine block: the
+// schedule-determined fields are always present, and the wall-clock fields
+// appear only when requested so deterministic outputs stay deterministic.
+func TestEngineStatsInReport(t *testing.T) {
+	scn := detScenario(9)
+	e, err := New(scn, RunOptions{Phantom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Engine == nil || rep.Engine.Events <= 0 {
+		t.Fatalf("report engine stats = %+v, want event counts", rep.Engine)
+	}
+	if rep.Engine.EventsPerSec != 0 || rep.Engine.WallMS != 0 {
+		t.Fatalf("wall-clock stats leaked into a deterministic report: %+v", rep.Engine)
+	}
+
+	e2, err := New(scn, RunOptions{Phantom: true, WallStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := e2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Engine.Events != rep.Engine.Events || rep2.Engine.Procs != rep.Engine.Procs {
+		t.Fatalf("schedule-determined stats changed with WallStats: %+v vs %+v", rep2.Engine, rep.Engine)
+	}
+	if rep2.Engine.EventsPerSec <= 0 || rep2.Engine.WallMS <= 0 {
+		t.Fatalf("WallStats run missing wall-clock stats: %+v", rep2.Engine)
 	}
 }

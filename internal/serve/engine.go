@@ -7,9 +7,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/ops"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // RunOptions tunes one engine run.
@@ -18,6 +20,11 @@ type RunOptions struct {
 	// result hashes fingerprint unwritten (all-zero) files. Latencies are
 	// bit-identical to a functional run.
 	Phantom bool
+	// WallStats adds wall-clock fields (events/sec, wall ms) to the
+	// report's engine stats. Off by default so reports stay byte-identical
+	// across runs; the deterministic counts (events, callbacks, procs) are
+	// always reported.
+	WallStats bool
 }
 
 // JobRecord is the per-job outcome log, in completion order. Tests use it
@@ -93,9 +100,16 @@ type Engine struct {
 	tenants []*tenantState
 	runReg  *obs.Registry // the shared runtime's own registry
 
+	// Live operations plane (ops.go), nil unless the scenario enables it.
+	plane    *ops.Plane
+	rec      *trace.Recorder
+	twatch   map[string]*tenantWatch
+	ruleFast map[string]sim.Time // rule name -> fast window, for attribution
+
 	idle         []*sim.Latch // parked dispatch workers
 	arrivalsOpen int
-	outstanding  int // admitted but not yet finished jobs
+	outstanding  int    // admitted but not yet finished jobs
+	detachQueues func() // releases the staging node's queue monitors
 
 	records []JobRecord
 	ran     bool
@@ -121,21 +135,37 @@ func New(scn *Scenario, opts RunOptions) (*Engine, error) {
 		WithCPU:    true,
 	})
 	runReg := obs.NewRegistry()
+	// The ops plane's health attribution reads the trace event stream, so
+	// tracing rides along whenever the plane is on. Tracing is observation
+	// only — it never alters the schedule — so ops scenarios keep the same
+	// job timeline they would have without it.
+	var rec *trace.Recorder
+	if scn.OpsEnabled() {
+		rec = trace.NewRecorder(trace.Options{MaxEvents: scn.Ops.TraceEvents})
+	}
 	rt := core.NewRuntime(eng, tree, core.Options{
 		Phantom: opts.Phantom,
 		Metrics: runReg,
+		Trace:   rec,
 	})
 	e := &Engine{
-		scn:    scn,
-		opts:   opts,
-		eng:    eng,
-		tree:   tree,
-		rt:     rt,
-		dram:   tree.Node(1),
-		runReg: runReg,
+		scn:      scn,
+		opts:     opts,
+		eng:      eng,
+		tree:     tree,
+		rt:       rt,
+		dram:     tree.Node(1),
+		runReg:   runReg,
+		rec:      rec,
+		ruleFast: map[string]sim.Time{},
 	}
 	for i := range scn.Tenants {
 		e.tenants = append(e.tenants, e.newTenantState(i, &scn.Tenants[i]))
+	}
+	if scn.OpsEnabled() {
+		if err := e.initOps(); err != nil {
+			return nil, err
+		}
 	}
 	return e, nil
 }
@@ -208,8 +238,24 @@ func (t *tenantState) pickMix() MixEntry {
 // exhausted and every admitted job finished — and returns the report.
 // An Engine runs once.
 func (e *Engine) Run() (*Report, error) {
+	if err := e.start(); err != nil {
+		return nil, err
+	}
+	if err := e.eng.Run(); err != nil {
+		e.detach()
+		return nil, fmt.Errorf("serve: scenario %q: %w", e.scn.Name, err)
+	}
+	return e.finish(), nil
+}
+
+// start arms the scenario's event machinery without running it: tenant
+// queues attach to the staging node, arrival chains and workers launch,
+// and — when the ops plane is on — its evaluation ticks arm. The live
+// server uses start/RunUntil/finish to slice the same run across wall
+// time; Run is start + one full engine run + finish.
+func (e *Engine) start() error {
 	if e.ran {
-		return nil, fmt.Errorf("serve: engine already ran")
+		return fmt.Errorf("serve: engine already ran")
 	}
 	e.ran = true
 
@@ -219,8 +265,7 @@ func (e *Engine) Run() (*Report, error) {
 	for _, t := range e.tenants {
 		monitors = append(monitors, t.q)
 	}
-	detach := e.dram.AttachQueues(monitors...)
-	defer detach()
+	e.detachQueues = e.dram.AttachQueues(monitors...)
 
 	// Arrival processes ride the engine's callback fast path: each tenant is
 	// a self-rescheduling timer, not a goroutine — an arrival draws the next
@@ -238,14 +283,33 @@ func (e *Engine) Run() (*Report, error) {
 			e.runWorker(p)
 		})
 	}
-	if err := e.eng.Run(); err != nil {
-		return nil, fmt.Errorf("serve: scenario %q: %w", e.scn.Name, err)
+	if e.plane != nil {
+		e.armOpsTicks()
 	}
+	return nil
+}
+
+// finish settles the drained run: metrics sync, a final plane tick at the
+// drain instant (deduplicated if a step tick already landed there), depth
+// slots close, queues detach, and the report is built.
+func (e *Engine) finish() *Report {
 	e.rt.SyncMetrics()
+	if e.plane != nil {
+		e.plane.Tick(e.eng.Now())
+	}
 	for _, t := range e.tenants {
 		t.depthSlot.Close()
 	}
-	return e.buildReport(), nil
+	e.detach()
+	return e.buildReport()
+}
+
+// detach releases the staging node's queue monitors, once.
+func (e *Engine) detach() {
+	if e.detachQueues != nil {
+		e.detachQueues()
+		e.detachQueues = nil
+	}
 }
 
 // startArrivals builds one tenant's open-loop Poisson arrival process as a
@@ -447,6 +511,9 @@ func (e *Engine) MergedRegistry() *obs.Registry {
 	m.Merge(e.runReg)
 	for _, t := range e.tenants {
 		m.Merge(t.reg)
+	}
+	if e.plane != nil {
+		m.Merge(e.plane.Registry())
 	}
 	return m
 }

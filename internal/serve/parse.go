@@ -195,6 +195,36 @@ func (f *fields) durationField(key string) (sim.Time, bool, error) {
 	return 0, true, fmt.Errorf("serve: %s.%s: %q is not a duration (want e.g. \"250ms\" or seconds)", f.path, key, s)
 }
 
+// floatOrDurationField parses either a plain number or Go duration syntax
+// (rendered as nanoseconds). Alert thresholds use it so a p99 rule can say
+// threshold: 20ms while a burn-rate rule says threshold: 14.4.
+func (f *fields) floatOrDurationField(key string) (float64, bool, error) {
+	s, ok, err := f.str(key)
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	s = strings.TrimSpace(s)
+	if fl, perr := strconv.ParseFloat(s, 64); perr == nil && !math.IsNaN(fl) && !math.IsInf(fl, 0) {
+		return fl, true, nil
+	}
+	if d, perr := time.ParseDuration(s); perr == nil {
+		return float64(d.Nanoseconds()), true, nil
+	}
+	return 0, true, fmt.Errorf("serve: %s.%s: %q is not a number or duration", f.path, key, s)
+}
+
+func (f *fields) boolField(key string) (bool, bool, error) {
+	s, ok, err := f.str(key)
+	if err != nil || !ok {
+		return false, ok, err
+	}
+	b, perr := strconv.ParseBool(strings.TrimSpace(s))
+	if perr != nil {
+		return false, true, fmt.Errorf("serve: %s.%s: %q is not a boolean", f.path, key, s)
+	}
+	return b, true, nil
+}
+
 func (f *fields) list(key string) ([]any, bool, error) {
 	v, ok := f.get(key)
 	if !ok {
@@ -255,10 +285,92 @@ func scenarioFromTree(tree any) (*Scenario, error) {
 		}
 		scn.Tenants = append(scn.Tenants, t)
 	}
+	if ov, ok := f.get("ops"); ok {
+		if scn.Ops, err = opsFromTree(ov); err != nil {
+			return nil, err
+		}
+	}
+	alerts, ok, err := f.list("alerts")
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		for i, av := range alerts {
+			r, err := alertFromTree(fmt.Sprintf("alerts[%d]", i), av)
+			if err != nil {
+				return nil, err
+			}
+			scn.Alerts = append(scn.Alerts, r)
+		}
+	}
 	if err := f.finish(); err != nil {
 		return nil, err
 	}
 	return &scn, nil
+}
+
+func opsFromTree(v any) (OpsSpec, error) {
+	var spec OpsSpec
+	f, err := asFields("ops", v)
+	if err != nil {
+		return spec, err
+	}
+	if spec.Window, _, err = f.durationField("window"); err != nil {
+		return spec, err
+	}
+	if spec.Step, _, err = f.durationField("step"); err != nil {
+		return spec, err
+	}
+	if k, ok, err := f.intField("top_k"); err != nil {
+		return spec, err
+	} else if ok {
+		if k < 0 || k > math.MaxInt32 {
+			return spec, fmt.Errorf("serve: ops.top_k: %d out of range", k)
+		}
+		spec.TopK = int(k)
+	}
+	if n, ok, err := f.intField("trace_events"); err != nil {
+		return spec, err
+	} else if ok {
+		if n < 0 || n > math.MaxInt32 {
+			return spec, fmt.Errorf("serve: ops.trace_events: %d out of range", n)
+		}
+		spec.TraceEvents = int(n)
+	}
+	if spec.Enabled, _, err = f.boolField("enabled"); err != nil {
+		return spec, err
+	}
+	return spec, f.finish()
+}
+
+func alertFromTree(path string, v any) (AlertRule, error) {
+	var r AlertRule
+	f, err := asFields(path, v)
+	if err != nil {
+		return r, err
+	}
+	if r.Name, _, err = f.str("name"); err != nil {
+		return r, err
+	}
+	if r.Tenant, _, err = f.str("tenant"); err != nil {
+		return r, err
+	}
+	if r.Metric, _, err = f.str("metric"); err != nil {
+		return r, err
+	}
+	if r.Threshold, _, err = f.floatOrDurationField("threshold"); err != nil {
+		return r, err
+	}
+	if r.FastWindow, _, err = f.durationField("fast_window"); err != nil {
+		return r, err
+	}
+	if r.SlowWindow, _, err = f.durationField("slow_window"); err != nil {
+		return r, err
+	}
+	if r.Severity, _, err = f.str("severity"); err != nil {
+		return r, err
+	}
+	return r, f.finish()
 }
 
 func topoFromTree(v any) (TopoSpec, error) {
@@ -298,6 +410,9 @@ func tenantFromTree(path string, v any) (Tenant, error) {
 		return t, err
 	}
 	if t.SLO, _, err = f.durationField("slo"); err != nil {
+		return t, err
+	}
+	if t.SLOTarget, _, err = f.floatField("slo_target"); err != nil {
 		return t, err
 	}
 	if mj, _, err := f.intField("max_jobs"); err != nil {

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -214,5 +216,142 @@ tenants:
 	}
 	if scn.Tenants[0].Name != "it's" {
 		t.Fatalf("tenant name = %q", scn.Tenants[0].Name)
+	}
+}
+
+const opsYAML = `
+name: ops-sample
+seed: 3
+duration: 1m
+ops:
+  step: 2s
+  window: 20s
+  top_k: 5
+  trace_events: 1024
+tenants:
+  - name: a
+    rate: 10/s
+    quota_mib: 4
+    slo: 5ms
+    slo_target: 0.995
+    mix:
+      - workload: sort
+        n: 100
+alerts:
+  - name: a-fast-burn
+    tenant: a
+    metric: slo_burn
+    threshold: 14.4
+    fast_window: 5m
+    slow_window: 1h
+    severity: page
+  - name: a-slow-p99
+    tenant: a
+    metric: p99_latency_ns
+    threshold: 20ms
+    fast_window: 15m
+    slow_window: 1h
+    severity: ticket
+`
+
+// TestParseOpsAndAlerts checks the ops block and alert rules decode with
+// duration-syntax thresholds and per-tenant SLO targets.
+func TestParseOpsAndAlerts(t *testing.T) {
+	scn, err := ParseScenario([]byte(opsYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scn.OpsEnabled() {
+		t.Fatal("ops block did not enable the plane")
+	}
+	if scn.Ops.Step != 2*sim.Second || scn.Ops.Window != 20*sim.Second {
+		t.Fatalf("ops cadence = %+v", scn.Ops)
+	}
+	if scn.Ops.TopK != 5 || scn.Ops.TraceEvents != 1024 {
+		t.Fatalf("ops sizing = %+v", scn.Ops)
+	}
+	if got := scn.Tenants[0].SLOTarget; got != 0.995 {
+		t.Fatalf("slo_target = %g, want 0.995", got)
+	}
+	if len(scn.Alerts) != 2 {
+		t.Fatalf("want 2 alert rules, got %d", len(scn.Alerts))
+	}
+	fast, p99 := scn.Alerts[0], scn.Alerts[1]
+	if fast.Name != "a-fast-burn" || fast.Metric != MetricSLOBurn || fast.Threshold != 14.4 {
+		t.Fatalf("fast rule = %+v", fast)
+	}
+	if fast.FastWindow != 300*sim.Second || fast.SlowWindow != 3600*sim.Second || fast.Severity != "page" {
+		t.Fatalf("fast rule windows = %+v", fast)
+	}
+	// Duration syntax for latency-valued thresholds: 20ms -> ns.
+	if p99.Metric != MetricP99 || p99.Threshold != float64(20*sim.Millisecond) {
+		t.Fatalf("p99 rule = %+v", p99)
+	}
+}
+
+// TestParseBurnRateScenarioFile parses the committed burn-rate scenario,
+// keeping the DSL documentation honest.
+func TestParseBurnRateScenarioFile(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "specs", "scenarios", "burn-rate.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn, err := ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.Name != "burn-rate" || !scn.OpsEnabled() {
+		t.Fatalf("burn-rate scenario header = %+v", scn)
+	}
+	if len(scn.Alerts) != 2 {
+		t.Fatalf("want 2 alert rules, got %d", len(scn.Alerts))
+	}
+	for _, r := range scn.Alerts {
+		if r.Tenant != "bursty" || r.Metric != MetricSLOBurn {
+			t.Fatalf("unexpected rule %+v", r)
+		}
+	}
+}
+
+// TestParseOpsAndAlertErrors walks the strict-parser and validation
+// rejections for the ops block and alert rules.
+func TestParseOpsAndAlertErrors(t *testing.T) {
+	mut := func(old, new string) string {
+		s := strings.Replace(opsYAML, old, new, 1)
+		if s == opsYAML {
+			t.Fatalf("mutation %q -> %q did not apply", old, new)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"unknown ops key", mut("top_k: 5", "top_k: 5\n  cadence: fast"), `unknown key "cadence"`},
+		{"unknown alert key", mut("severity: page", "severity: page\n    pager: oncall"), `unknown key "pager"`},
+		{"duplicate rule name", mut("name: a-slow-p99", "name: a-fast-burn"), `duplicate alert rule "a-fast-burn"`},
+		{"unknown metric", mut("metric: slo_burn", "metric: goodput"), `unknown metric "goodput"`},
+		{"unknown severity", mut("severity: page", "severity: siren"), `unknown severity "siren"`},
+		{"unknown tenant", mut("tenant: a\n    metric: slo_burn", "tenant: b\n    metric: slo_burn"), `unknown tenant "b"`},
+		{"slow shorter than fast", mut("slow_window: 1h\n    severity: page", "slow_window: 1m\n    severity: page"), "shorter than fast window"},
+		{"zero fast window", mut("fast_window: 5m", "fast_window: 0s"), "fast window must be positive"},
+		{"negative threshold", mut("threshold: 14.4", "threshold: -1"), "must be non-negative"},
+		{"bad threshold", mut("threshold: 14.4", "threshold: lots"), "not a number or duration"},
+		{"window below step", mut("window: 20s", "window: 1s"), "shorter than step"},
+		{"negative ops field", mut("top_k: 5", "top_k: -2"), "out of range"},
+		{"slo_target too high", mut("slo_target: 0.995", "slo_target: 1.5"), "must lie in (0, 1)"},
+		{"rule without name", mut("name: a-fast-burn", "name: ''"), "rule has no name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScenario([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("expected an error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
 	}
 }

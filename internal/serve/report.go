@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/ops"
 	"repro/internal/sim"
 )
 
@@ -29,6 +30,18 @@ type TenantReport struct {
 	ThroughputJPS float64 `json:"throughput_jps"`
 }
 
+// EngineStats is the simulation engine's cost profile in the report. The
+// counts are deterministic (same scenario+seed, same counts); the wall
+// fields depend on the host and appear only with RunOptions.WallStats, so
+// deterministic outputs never carry them.
+type EngineStats struct {
+	Events       int64   `json:"events"`
+	Callbacks    int64   `json:"callbacks"`
+	Procs        int64   `json:"procs"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	WallMS       float64 `json:"wall_ms,omitempty"`
+}
+
 // Report summarizes one scenario run.
 type Report struct {
 	Schema     string         `json:"schema"`
@@ -39,6 +52,11 @@ type Report struct {
 	Tenants    []TenantReport `json:"tenants"`
 	TotalJobs  int64          `json:"total_jobs"`
 	TotalBytes int64          `json:"total_work_bytes"`
+	// Alerts is the ops plane's deterministic fire/resolve timeline
+	// (absent when the scenario does not enable the plane).
+	Alerts []ops.AlertEvent `json:"alerts,omitempty"`
+	// Engine is the simulation engine's self-measurement.
+	Engine *EngineStats `json:"engine,omitempty"`
 }
 
 // buildReport snapshots per-tenant metrics after the engine drains.
@@ -89,6 +107,13 @@ func (e *Engine) buildReport() *Report {
 				rep.TotalBytes += plan.WorkBytes
 			}
 		}
+	}
+	rep.Alerts = e.AlertEvents()
+	st := e.eng.Stats()
+	rep.Engine = &EngineStats{Events: st.Events, Callbacks: st.Callbacks, Procs: st.Procs}
+	if e.opts.WallStats {
+		rep.Engine.EventsPerSec = st.EventsPerSec()
+		rep.Engine.WallMS = float64(st.Wall.Nanoseconds()) / 1e6
 	}
 	return rep
 }

@@ -42,6 +42,29 @@ const (
 // paper's uniform synthetic structure).
 const spmvAvgNNZ = 8
 
+// Alert-rule metric selectors. Each is a windowed per-tenant value the ops
+// plane can evaluate against a rule threshold.
+const (
+	// MetricSLOBurn is the error-budget burn rate: the windowed fraction
+	// of completions that violated the tenant SLO, divided by the tenant's
+	// error budget (1 - slo_target). Burn 1.0 means "spending budget at
+	// exactly the sustainable rate"; 14.4 is the classic fast-burn page.
+	MetricSLOBurn = "slo_burn"
+	// MetricRejectRatio is windowed rejections / arrivals.
+	MetricRejectRatio = "reject_ratio"
+	// MetricErrorRatio is windowed job errors / (errors + completions).
+	MetricErrorRatio = "error_ratio"
+	// MetricP99 is the windowed p99 latency in virtual nanoseconds; rule
+	// thresholds for it accept duration syntax ("20ms").
+	MetricP99 = "p99_latency_ns"
+	// MetricQueueDepth is the windowed max of the tenant's queue depth.
+	MetricQueueDepth = "queue_depth"
+)
+
+// DefaultSLOTarget is the SLO attainment objective assumed when a tenant
+// declares an SLO without a target: 99% of completions inside the SLO.
+const DefaultSLOTarget = 0.99
+
 // maxMixN bounds problem sizes so footprint arithmetic stays far from
 // overflow and a typo'd dimension fails at parse time, not at runtime.
 const maxMixN = 1 << 20
@@ -76,6 +99,10 @@ type Tenant struct {
 	// SLO is the per-job latency objective; completions above it count
 	// into northup_serve_slo_violations_total. Zero disables the check.
 	SLO sim.Time
+	// SLOTarget is the attainment objective the error budget derives from:
+	// burn rate 1.0 means violations arrive at exactly (1 - SLOTarget) of
+	// completions. Defaults to DefaultSLOTarget; must lie in (0, 1).
+	SLOTarget float64
 	// MaxJobs stops the tenant's arrival stream after this many arrivals
 	// (0 = until the scenario duration elapses).
 	MaxJobs int
@@ -99,6 +126,50 @@ type TopoSpec struct {
 	DRAMMiB int64
 }
 
+// OpsSpec configures the live operations plane. The zero value disables
+// it unless the scenario declares alert rules, in which case defaults
+// apply.
+type OpsSpec struct {
+	// Window is the default rolling-window width for the northup_window_*
+	// series (default 10s of virtual time).
+	Window sim.Time
+	// Step is the evaluation period: windows refresh and rules evaluate at
+	// every multiple of Step (default 1s of virtual time).
+	Step sim.Time
+	// TopK bounds the attribution report attached to firing alerts
+	// (default 3).
+	TopK int
+	// TraceEvents sizes the trace ring attribution reads from (default
+	// trace.DefaultMaxEvents). Attribution needs tracing; the engine turns
+	// the recorder on whenever the scenario has alert rules.
+	TraceEvents int
+	// Enabled forces the plane on even without alert rules, so a scenario
+	// can collect window series alone.
+	Enabled bool
+}
+
+// AlertRule is one declarative burn-rate alert in the DSL: fire when the
+// selected metric exceeds the threshold over both the fast and the slow
+// trailing window (multiwindow burn-rate alerting).
+type AlertRule struct {
+	// Name identifies the rule; names must be unique per scenario.
+	Name string
+	// Tenant scopes the rule to one tenant; empty instantiates the rule
+	// for every tenant.
+	Tenant string
+	// Metric is one of the Metric* selectors.
+	Metric string
+	// Threshold is the firing level. For MetricP99 the DSL also accepts
+	// duration syntax, parsed into nanoseconds.
+	Threshold float64
+	// FastWindow and SlowWindow are the two trailing windows; the rule
+	// fires only when both exceed the threshold. SlowWindow defaults to
+	// FastWindow (single-window rule) and must not be shorter.
+	FastWindow, SlowWindow sim.Time
+	// Severity is page (default), ticket or warn.
+	Severity string
+}
+
 // Scenario is a parsed, validated traffic scenario.
 type Scenario struct {
 	Name string
@@ -113,6 +184,17 @@ type Scenario struct {
 	Workers  int
 	Topology TopoSpec
 	Tenants  []Tenant
+	// Ops configures the live operations plane (windowed series, alert
+	// evaluation cadence, attribution depth).
+	Ops OpsSpec
+	// Alerts are the scenario's burn-rate alert rules. A non-empty list
+	// enables the ops plane and the trace recorder behind it.
+	Alerts []AlertRule
+}
+
+// OpsEnabled reports whether this scenario runs the live operations plane.
+func (s *Scenario) OpsEnabled() bool {
+	return s.Ops.Enabled || len(s.Alerts) > 0
 }
 
 // applyDefaults fills zero-valued optional fields in place.
@@ -129,6 +211,26 @@ func (s *Scenario) applyDefaults() {
 	if s.Topology.DRAMMiB == 0 {
 		s.Topology.DRAMMiB = 256
 	}
+	if s.OpsEnabled() {
+		if s.Ops.Step == 0 {
+			s.Ops.Step = sim.Second
+		}
+		if s.Ops.Window == 0 {
+			s.Ops.Window = 10 * sim.Second
+		}
+		if s.Ops.TopK == 0 {
+			s.Ops.TopK = 3
+		}
+	}
+	for i := range s.Alerts {
+		r := &s.Alerts[i]
+		if r.Severity == "" {
+			r.Severity = "page"
+		}
+		if r.SlowWindow == 0 {
+			r.SlowWindow = r.FastWindow
+		}
+	}
 	for i := range s.Tenants {
 		t := &s.Tenants[i]
 		if t.Weight == 0 {
@@ -136,6 +238,9 @@ func (s *Scenario) applyDefaults() {
 		}
 		if t.MaxQueue == 0 {
 			t.MaxQueue = 64
+		}
+		if t.SLOTarget == 0 {
+			t.SLOTarget = DefaultSLOTarget
 		}
 		for j := range t.Mix {
 			m := &t.Mix[j]
@@ -153,6 +258,7 @@ func (s *Scenario) applyDefaults() {
 // receiver untouched so callers can reuse it across engines.
 func (s *Scenario) withDefaults() *Scenario {
 	out := *s
+	out.Alerts = append([]AlertRule(nil), s.Alerts...)
 	out.Tenants = make([]Tenant, len(s.Tenants))
 	copy(out.Tenants, s.Tenants)
 	for i := range out.Tenants {
@@ -207,6 +313,9 @@ func (s *Scenario) Validate() error {
 		if t.SLO < 0 {
 			return fmt.Errorf("serve: tenant %q negative SLO", t.Name)
 		}
+		if t.SLOTarget <= 0 || t.SLOTarget >= 1 {
+			return fmt.Errorf("serve: tenant %q slo_target %g must lie in (0, 1)", t.Name, t.SLOTarget)
+		}
 		if t.MaxJobs < 0 || t.MaxQueue < 1 {
 			return fmt.Errorf("serve: tenant %q invalid max_jobs/max_queue", t.Name)
 		}
@@ -221,6 +330,56 @@ func (s *Scenario) Validate() error {
 				return fmt.Errorf("serve: tenant %q mix[%d]: %w", t.Name, j, err)
 			}
 		}
+	}
+	if s.Ops.Window < 0 || s.Ops.Step < 0 || s.Ops.TopK < 0 || s.Ops.TraceEvents < 0 {
+		return fmt.Errorf("serve: ops fields must be non-negative")
+	}
+	if s.OpsEnabled() && s.Ops.Step > 0 && s.Ops.Window > 0 && s.Ops.Window < s.Ops.Step {
+		return fmt.Errorf("serve: ops window %v shorter than step %v", s.Ops.Window, s.Ops.Step)
+	}
+	ruleSeen := map[string]bool{}
+	for i := range s.Alerts {
+		r := &s.Alerts[i]
+		if err := validateAlert(r, seen); err != nil {
+			return fmt.Errorf("serve: alert[%d]: %w", i, err)
+		}
+		if ruleSeen[r.Name] {
+			return fmt.Errorf("serve: duplicate alert rule %q", r.Name)
+		}
+		ruleSeen[r.Name] = true
+	}
+	return nil
+}
+
+// validateAlert checks one alert rule; tenants is the set of declared
+// tenant names.
+func validateAlert(r *AlertRule, tenants map[string]bool) error {
+	if r.Name == "" {
+		return fmt.Errorf("rule has no name")
+	}
+	if r.Tenant != "" && !tenants[r.Tenant] {
+		return fmt.Errorf("rule %q names unknown tenant %q", r.Name, r.Tenant)
+	}
+	switch r.Metric {
+	case MetricSLOBurn, MetricRejectRatio, MetricErrorRatio, MetricP99, MetricQueueDepth:
+	default:
+		return fmt.Errorf("rule %q has unknown metric %q (want %s, %s, %s, %s or %s)",
+			r.Name, r.Metric, MetricSLOBurn, MetricRejectRatio, MetricErrorRatio, MetricP99, MetricQueueDepth)
+	}
+	if r.Threshold < 0 {
+		return fmt.Errorf("rule %q threshold %g must be non-negative", r.Name, r.Threshold)
+	}
+	if r.FastWindow <= 0 {
+		return fmt.Errorf("rule %q fast window must be positive", r.Name)
+	}
+	if r.SlowWindow < r.FastWindow {
+		return fmt.Errorf("rule %q slow window %v shorter than fast window %v",
+			r.Name, r.SlowWindow, r.FastWindow)
+	}
+	switch r.Severity {
+	case "page", "ticket", "warn":
+	default:
+		return fmt.Errorf("rule %q has unknown severity %q (want page, ticket or warn)", r.Name, r.Severity)
 	}
 	return nil
 }

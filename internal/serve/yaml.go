@@ -283,7 +283,7 @@ func parseYAMLScalar(s string, num int) (any, error) {
 }
 
 // unquoteYAML strips matching surrounding quotes. Double quotes honour the
-// \" \\ \n \t escapes; single quotes honour the '' escape.
+// \" \\ \n \t escapes; single quotes honour the ” escape.
 func unquoteYAML(s string) (string, bool) {
 	if len(s) < 2 {
 		return "", false

@@ -257,6 +257,17 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// Peek returns the timestamp of the next pending event, or false when the
+// queue is empty. It is meaningful between Run/RunUntil calls — the paced
+// serve driver uses it to decide whether a resumed RunUntil has more work
+// or the simulation has drained.
+func (e *Engine) Peek() (Time, bool) {
+	if e.events.len() == 0 {
+		return 0, false
+	}
+	return e.events.ev[0].t, true
+}
+
 // DeadlockError reports that the event queue drained while processes were
 // still blocked on conditions that nothing can ever signal.
 type DeadlockError struct {

@@ -404,3 +404,93 @@ func TestChromeExportDroppedEvents(t *testing.T) {
 		t.Fatalf("validation error does not name the drop count: %v", err)
 	}
 }
+
+// TestTopLanesOrderingAndTruncation checks the attribution ranking: busy
+// desc, ties by node then track, zero-busy lanes skipped, k truncates.
+func TestTopLanesOrderingAndTruncation(t *testing.T) {
+	r := NewRecorder(Options{})
+	// node0/gpu: overlapping spans union to 150.
+	r.Span(Lane{Node: 0, Track: TrackGPU}, GPUCompute, "gemm", 0, 100, 0)
+	r.Span(Lane{Node: 0, Track: TrackGPU}, GPUCompute, "gemm", 50, 150, 0)
+	// node2/gpu: busy 150 too — ties break toward the lower node ID.
+	r.Span(Lane{Node: 2, Track: TrackGPU}, GPUCompute, "gemm", 0, 150, 0)
+	// node1/cpu: busy 100.
+	r.Span(Lane{Node: 1, Track: TrackCPU}, CPUCompute, "sort", 0, 100, 0)
+	// node0/xfer: busy 50.
+	r.Span(Lane{Node: 0, Track: TrackXfer}, Transfer, "move", 100, 150, 500)
+
+	s := Summarize(r.Events(), SummaryOptions{})
+	want := []Lane{
+		{Node: 0, Track: TrackGPU},
+		{Node: 2, Track: TrackGPU},
+		{Node: 1, Track: TrackCPU},
+		{Node: 0, Track: TrackXfer},
+	}
+	top := s.TopLanes(0)
+	if len(top) != len(want) {
+		t.Fatalf("TopLanes(0) returned %d lanes, want %d", len(top), len(want))
+	}
+	for i, lm := range top {
+		if lm.Lane != want[i] {
+			t.Fatalf("rank %d = %v, want %v (full: %+v)", i, lm.Lane, want[i], top)
+		}
+	}
+	if top[0].Busy != 150 || top[1].Busy != 150 {
+		t.Fatalf("tied busy = %v/%v, want 150/150", top[0].Busy, top[1].Busy)
+	}
+	if got := s.TopLanes(2); len(got) != 2 || got[1].Lane != want[1] {
+		t.Fatalf("TopLanes(2) = %+v, want first two ranks", got)
+	}
+
+	// Clip the window to [100, 150): node1/cpu leaves the union entirely
+	// and must not appear.
+	clipped := Summarize(r.Events(), SummaryOptions{Start: 100, End: 150})
+	for _, lm := range clipped.TopLanes(0) {
+		if lm.Lane == (Lane{Node: 1, Track: TrackCPU}) {
+			t.Fatalf("zero-busy lane ranked in clipped window: %+v", lm)
+		}
+	}
+	if got := clipped.TopLanes(1); len(got) != 1 || got[0].Busy != 50 {
+		t.Fatalf("clipped TopLanes(1) = %+v, want one 50ns lane", got)
+	}
+}
+
+// TestTopNamesAggregationAndClipping checks the kernel-level ranking:
+// same-name spans sum (no interval union), clipping trims overlap, and
+// fully-excluded names vanish.
+func TestTopNamesAggregationAndClipping(t *testing.T) {
+	r := NewRecorder(Options{})
+	r.Span(Lane{Node: 0, Track: TrackGPU}, GPUCompute, "gemm", 0, 100, 0)
+	r.Span(Lane{Node: 0, Track: TrackGPU}, GPUCompute, "gemm", 50, 150, 0)
+	r.Span(Lane{Node: 1, Track: TrackCPU}, CPUCompute, "sort", 0, 100, 0)
+	r.Span(Lane{Node: 0, Track: TrackXfer}, Transfer, "move", 0, 50, 500)
+
+	// Full extent: concurrent gemm spans add to 200 (busy, not union).
+	top := TopNames(r.Events(), 0, 0, 0)
+	if len(top) != 3 {
+		t.Fatalf("TopNames = %+v, want 3 entries", top)
+	}
+	if top[0].Name != "gemm" || top[0].Busy != 200 || top[0].Spans != 2 {
+		t.Fatalf("top name = %+v, want gemm busy 200 over 2 spans", top[0])
+	}
+	if top[1].Name != "sort" || top[1].Busy != 100 {
+		t.Fatalf("second name = %+v, want sort busy 100", top[1])
+	}
+
+	// k truncates.
+	if got := TopNames(r.Events(), 0, 0, 1); len(got) != 1 || got[0].Name != "gemm" {
+		t.Fatalf("TopNames(k=1) = %+v", got)
+	}
+
+	// Window [50, 150): gemm clips to 50+100, sort to 50, move drops out.
+	win := TopNames(r.Events(), 50, 150, 0)
+	if len(win) != 2 {
+		t.Fatalf("windowed TopNames = %+v, want move excluded", win)
+	}
+	if win[0].Name != "gemm" || win[0].Busy != 150 {
+		t.Fatalf("windowed gemm = %+v, want busy 150", win[0])
+	}
+	if win[1].Name != "sort" || win[1].Busy != 50 {
+		t.Fatalf("windowed sort = %+v, want busy 50", win[1])
+	}
+}

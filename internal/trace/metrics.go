@@ -248,6 +248,116 @@ func Summarize(events []Event, opt SummaryOptions) *Summary {
 	return s
 }
 
+// TopLanes returns the summary's k busiest lanes across all nodes, ranked
+// by interval-union busy time (ties break by node ID, then track name, so
+// the ranking is deterministic). Zero-busy lanes are skipped. This is the
+// windowed attribution query the ops plane builds burn-window health
+// reports from: the numbers are the Summary's own, bit for bit.
+func (s *Summary) TopLanes(k int) []LaneMetrics {
+	var all []LaneMetrics
+	for _, nm := range s.Nodes {
+		for _, lm := range nm.Lanes {
+			if lm.Busy > 0 {
+				all = append(all, lm)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Busy != b.Busy {
+			return a.Busy > b.Busy
+		}
+		if a.Lane.Node != b.Lane.Node {
+			return a.Lane.Node < b.Lane.Node
+		}
+		return a.Lane.Track < b.Lane.Track
+	})
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// NameAgg aggregates the spans sharing one name on one node within an
+// analysis window: the kernel/move/stage-level counterpart of LaneMetrics.
+type NameAgg struct {
+	// Name is the span name ("kernel", "move", a task label...).
+	Name string
+	// Node is the lane node the spans ran on.
+	Node int
+	// Spans counts the aggregated spans.
+	Spans int
+	// Busy is the summed span duration clipped to the window. Unlike lane
+	// busy it is not an interval union: concurrent same-name spans add, so
+	// it answers "how much of this work ran", not "how long was the lane
+	// occupied".
+	Busy sim.Time
+}
+
+// TopNames returns the k span names with the most summed window-clipped
+// duration in [start, end), aggregated by (name, node). Ties break by
+// node, then name. Zero start and end mean "the events' full extent".
+func TopNames(events []Event, start, end sim.Time, k int) []NameAgg {
+	if start == 0 && end == 0 {
+		first := true
+		for _, ev := range events {
+			if first || ev.Start < start {
+				start = ev.Start
+			}
+			if first || ev.End() > end {
+				end = ev.End()
+			}
+			first = false
+		}
+	}
+	type key struct {
+		name string
+		node int
+	}
+	acc := map[key]*NameAgg{}
+	for _, ev := range events {
+		if ev.Kind != KindSpan {
+			continue
+		}
+		s, e := ev.Start, ev.End()
+		if s < start {
+			s = start
+		}
+		if e > end {
+			e = end
+		}
+		if e <= s {
+			continue
+		}
+		kk := key{name: ev.Name, node: ev.Lane.Node}
+		na := acc[kk]
+		if na == nil {
+			na = &NameAgg{Name: ev.Name, Node: ev.Lane.Node}
+			acc[kk] = na
+		}
+		na.Spans++
+		na.Busy += e - s
+	}
+	all := make([]NameAgg, 0, len(acc))
+	for _, na := range acc {
+		all = append(all, *na)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Busy != b.Busy {
+			return a.Busy > b.Busy
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Name < b.Name
+	})
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
 // fmtBytes renders a byte count with a binary-unit suffix.
 func fmtBytes(b int64) string {
 	switch {

@@ -8,7 +8,22 @@ package northup
 // Runs are deterministic: the same scenario and seed reproduce reports,
 // job records and metrics byte for byte.
 
-import "repro/internal/serve"
+import (
+	"repro/internal/ops"
+	"repro/internal/serve"
+)
+
+// Live-operations types surfaced through the serve report and admin plane.
+type (
+	// OpsAlertEvent is one deterministic fire/resolve transition in the
+	// alert timeline.
+	OpsAlertEvent = ops.AlertEvent
+	// OpsFiringAlert is one currently-active alert in a health snapshot.
+	OpsFiringAlert = ops.FiringAlert
+	// OpsAttribution is the top-K hot-lane/hot-kernel report attached to
+	// a firing alert's burn window.
+	OpsAttribution = ops.Attribution
+)
 
 // Multi-tenant serving types.
 type (
@@ -32,6 +47,27 @@ type (
 	ServeTenantReport = serve.TenantReport
 	// ServeJobRecord is one completed (or failed) job in the log.
 	ServeJobRecord = serve.JobRecord
+	// ServeOpsSpec configures the scenario's live operations plane
+	// (window width, evaluation step, attribution depth).
+	ServeOpsSpec = serve.OpsSpec
+	// ServeAlertRule is one declarative multiwindow burn-rate alert.
+	ServeAlertRule = serve.AlertRule
+	// ServeEngineStats is the report's simulation-engine cost profile.
+	ServeEngineStats = serve.EngineStats
+	// ServeLive wraps an engine for wall-clock-paced execution with the
+	// HTTP admin plane (/metrics, /healthz, /tenants, /alerts).
+	ServeLive = serve.Live
+	// ServeTenantHealth is one tenant's entry in the /tenants document.
+	ServeTenantHealth = serve.TenantHealth
+)
+
+// Alert-rule metric selectors (see serve.AlertRule.Metric).
+const (
+	ServeMetricSLOBurn     = serve.MetricSLOBurn
+	ServeMetricRejectRatio = serve.MetricRejectRatio
+	ServeMetricErrorRatio  = serve.MetricErrorRatio
+	ServeMetricP99         = serve.MetricP99
+	ServeMetricQueueDepth  = serve.MetricQueueDepth
 )
 
 // Workload names accepted in a scenario mix.
@@ -48,4 +84,6 @@ var (
 	// NewServeEngine builds an engine for a scenario; defaults are applied
 	// to a private copy, so the scenario may be reused.
 	NewServeEngine = serve.New
+	// NewServeLive wraps an unstarted engine for paced live execution.
+	NewServeLive = serve.NewLive
 )
