@@ -4,6 +4,8 @@
 #   make strict       tier-2 gate: lint + race tests + demos + perf gate
 #   make lint         gofmt -l (fail on unformatted files) + go vet
 #   make ops-demo     live admin-plane smoke: burn-rate scenario over HTTP
+#   make tail-demo    per-job journey smoke: tail analyzer + exemplars +
+#                     journey-lane trace validation on the burn-rate workload
 #   make bench-json   benchmark artifacts -> BENCH_cache.json,
 #                     BENCH_stream.json, BENCH_serve.json, BENCH_perf.json
 #   make bench-stream streamed-transfer overlap sweep -> BENCH_stream.json
@@ -15,7 +17,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race lint check strict bench bench-json bench-stream bench-serve bench-sim bench-check trace-demo serve-demo ops-demo clean
+.PHONY: all build test vet race lint check strict bench bench-json bench-stream bench-serve bench-sim bench-check trace-demo serve-demo ops-demo tail-demo clean
 
 all: check strict bench-json
 
@@ -44,7 +46,7 @@ check: build test
 
 # Tier-2: static analysis, the race detector, the end-to-end demos, and
 # the perf-regression gate.
-strict: lint race trace-demo serve-demo ops-demo bench-check
+strict: lint race trace-demo serve-demo ops-demo tail-demo bench-check
 
 # End-to-end tracing smoke: capture a small traced run, then require the
 # exported Chrome trace to validate through the offline analyser.
@@ -90,6 +92,28 @@ ops-demo:
 	  curl -sf http://127.0.0.1:9974/metrics | grep -q northup_alert_firing'
 	rm -f ops-demo-serve ops-demo-alerts.json
 
+# Per-job journey smoke: run the burn-rate workload with journeys on and
+# require (1) the tail analyzer to name the staging hop as the bursty
+# tenant's dominant p99 phase, (2) the firing page alert to carry exemplar
+# trace IDs, and (3) the exported trace — including the per-job journey
+# lanes — to validate through the offline analyser, with a waterfall
+# renderable for an exemplar job.
+tail-demo:
+	$(GO) build -o tail-demo-serve ./cmd/northup-serve
+	$(GO) build -o tail-demo-trace ./cmd/northup-trace
+	./tail-demo-serve -scenario specs/scenarios/burn-rate.yaml -journeys \
+		-tail -trace-out tail-demo.trace.json -alerts tail-demo-alerts.json \
+		> tail-demo-tail.txt
+	grep -A2 "tenant bursty:" tail-demo-tail.txt | grep -q "stage:node0/io"
+	grep -q '"severity": "page"' tail-demo-alerts.json
+	grep -q '"trace_id"' tail-demo-alerts.json
+	./tail-demo-trace -validate tail-demo.trace.json
+	sh -c 'id=$$(grep -o "\"trace_id\": \"[0-9a-f]*\"" tail-demo-alerts.json \
+	  | head -1 | cut -d\" -f4); \
+	  ./tail-demo-trace -job $$id tail-demo.trace.json | grep -q "phase totals:"'
+	rm -f tail-demo-serve tail-demo-trace tail-demo.trace.json \
+		tail-demo-alerts.json tail-demo-tail.txt
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
@@ -128,4 +152,4 @@ bench-check:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_cache.json BENCH_stream.json BENCH_serve.json trace-demo.json serve-demo-a.json serve-demo-b.json ops-demo-serve ops-demo-alerts.json
+	rm -f BENCH_cache.json BENCH_stream.json BENCH_serve.json trace-demo.json serve-demo-a.json serve-demo-b.json ops-demo-serve ops-demo-alerts.json tail-demo-serve tail-demo-trace tail-demo.trace.json tail-demo-alerts.json tail-demo-tail.txt

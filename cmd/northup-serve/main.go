@@ -6,6 +6,8 @@
 //	northup-serve -scenario FILE [-format table|json] [-functional]
 //	              [-metrics FILE] [-records FILE] [-alerts FILE]
 //	              [-windows FILE] [-stats]
+//	              [-journeys] [-tail] [-tail-q Q]
+//	              [-journeys-out FILE] [-trace-out FILE]
 //	              [-http ADDR] [-pace N] [-linger D]
 //
 // The scenario file (YAML or JSON, see specs/scenarios/) declares the
@@ -36,6 +38,18 @@
 //
 // -stats adds wall-clock engine throughput (events/sec) to the report;
 // without it the report stays byte-identical across runs.
+//
+// Per-job journeys (scenario journeys: block, or forced with -journeys)
+// give every sampled admitted job a deterministic trace ID and record its
+// life as causally linked phase spans — admit-wait, queue-wait, staging
+// hops, kernel time, merge, blocked gaps — whose durations sum bit-for-bit
+// to the recorded latency. -tail prints the tail-latency analyzer (phase
+// decomposition of the -tail-q quantile per tenant plus the pivot job's
+// waterfall), -journeys-out writes every journey as JSON, and -trace-out
+// writes a Chrome/Perfetto trace of the run with one "job:<trace-id>" lane
+// per journey (northup-trace -job ID renders a waterfall from that file).
+// Journeys observe the schedule without perturbing it: reports and records
+// are byte-identical with the layer on or off.
 package main
 
 import (
@@ -49,6 +63,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -60,6 +75,11 @@ func main() {
 	alerts := flag.String("alerts", "", "write the alert timeline (JSON) to this file, - for stdout")
 	windows := flag.String("windows", "", "write the windowed series (JSON) to this file, - for stdout")
 	stats := flag.Bool("stats", false, "add wall-clock engine stats (events/sec) to the report")
+	journeys := flag.Bool("journeys", false, "force per-job journeys on (sample 1.0) even if the scenario leaves them off")
+	tail := flag.Bool("tail", false, "print the tail-latency analyzer (requires journeys)")
+	tailQ := flag.Float64("tail-q", 0.99, "quantile the tail analyzer decomposes")
+	journeysOut := flag.String("journeys-out", "", "write every recorded journey (JSON) to this file, - for stdout")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace of the run (with per-job journey lanes) to this file, - for stdout")
 	httpAddr := flag.String("http", "", "serve the live admin plane (/metrics /healthz /tenants /alerts) on this address during the run")
 	pace := flag.Float64("pace", 0, "virtual seconds advanced per wall-clock second with -http (0 = flat out)")
 	linger := flag.Duration("linger", 0, "keep the admin plane serving this long after the run completes")
@@ -83,7 +103,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := serve.New(scn, serve.RunOptions{Phantom: !*functional, WallStats: *stats})
+	if *journeys && !scn.Journeys.Enabled {
+		scn.Journeys = serve.JourneySpec{Enabled: true}
+	}
+	if (*tail || *journeysOut != "") && !scn.Journeys.Enabled {
+		fmt.Fprintln(os.Stderr, "northup-serve: -tail/-journeys-out need journeys (scenario journeys: block or -journeys)")
+		os.Exit(2)
+	}
+	eng, err := serve.New(scn, serve.RunOptions{
+		Phantom:   !*functional,
+		WallStats: *stats,
+		Trace:     *traceOut != "",
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -150,6 +181,28 @@ func main() {
 	if *windows != "" {
 		err := emit(*windows, func(w io.Writer) error {
 			return writeIndented(w, eng.WindowSeries())
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *tail {
+		fmt.Print(eng.TailReport(*tailQ).String())
+	}
+	if *journeysOut != "" {
+		err := emit(*journeysOut, func(w io.Writer) error {
+			return writeIndented(w, eng.Journeys().Export())
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		err := emit(*traceOut, func(w io.Writer) error {
+			return trace.WriteChromeTrace(w, eng.TraceEvents(), trace.ChromeExportOptions{
+				NodeLabel:     eng.TraceNodeLabel,
+				DroppedEvents: eng.TraceDropped(),
+			})
 		})
 		if err != nil {
 			fatal(err)

@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	northup-trace [-validate] [-top N] [-lanes] trace.json
+//	northup-trace [-validate] [-top N] [-lanes] [-job TRACE_ID] trace.json
 //
 // -validate checks well-formedness and exits (0 on success), the mode the
 // Makefile's trace-demo gate uses. -top sets how many critical-path
 // contributors to list. -lanes prints the lane names and exits.
+//
+// -job renders the phase waterfall of one journey from a trace captured
+// with northup-serve -trace-out (journeys enabled): the job's lane is
+// "job:<trace-id>" and its phase spans sum exactly to the job's latency.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/journey"
 	"repro/northup"
 )
 
@@ -24,9 +29,10 @@ func main() {
 	validate := flag.Bool("validate", false, "check the file is a well-formed Chrome trace and exit")
 	top := flag.Int("top", 8, "number of critical-path contributors to list")
 	lanes := flag.Bool("lanes", false, "list the trace's timeline lanes and exit")
+	jobID := flag.String("job", "", "render the phase waterfall of this journey trace ID and exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: northup-trace [-validate] [-top N] [-lanes] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: northup-trace [-validate] [-top N] [-lanes] [-job TRACE_ID] trace.json")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -51,6 +57,14 @@ func main() {
 		for _, lane := range northup.TraceLaneNames(parsed.Events) {
 			fmt.Println(lane)
 		}
+		return
+	}
+	if *jobID != "" {
+		wf, err := journey.WaterfallFromEvents(parsed.Events, *jobID)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %v", path, err))
+		}
+		fmt.Print(wf)
 		return
 	}
 

@@ -89,7 +89,7 @@ func (rt *Runtime) AllocAt(p *sim.Proc, node *topo.Node, size int64) (*Buffer, e
 		cost := allocSetupCost(node.Kind())
 		costStart := p.Now()
 		p.Sleep(cost)
-		rt.chargeSpan(trace.Lane{Node: node.ID, Track: trace.TrackAlloc},
+		rt.chargeSpan(p, trace.Lane{Node: node.ID, Track: trace.TrackAlloc},
 			trace.BufferSetup, spanAlloc, costStart, p.Now(), size)
 		if rt.opts.Faults != nil {
 			if err := rt.opts.Faults.Alloc(p, node.ID, size); err != nil {

@@ -109,9 +109,10 @@ type Runtime struct {
 
 	bd      trace.Breakdown
 	res     ResilienceStats
-	rec     *trace.Recorder     // event recorder, nil when tracing is off
-	met     *runtimeMetrics     // metrics handles, nil when metrics are off
-	spanObs []func(trace.Event) // span observers (profile-guided scheduling)
+	rec     *trace.Recorder        // event recorder, nil when tracing is off
+	met     *runtimeMetrics        // metrics handles, nil when metrics are off
+	spanObs []func(trace.Event)    // span observers (profile-guided scheduling)
+	sinks   map[*sim.Proc]SpanSink // per-proc charge mirrors (journey layer), lazy
 	bufSeq  int
 	bufIDs  int64 // stable buffer identities keying cache entries
 
@@ -185,7 +186,7 @@ func (rt *Runtime) chargeOverhead(p *sim.Proc) {
 	}
 	start := p.Now()
 	p.Sleep(rt.opts.OverheadPerOp)
-	rt.chargeSpan(laneRuntime, trace.Runtime, spanBookkeeping, start, p.Now(), 0)
+	rt.chargeSpan(p, laneRuntime, trace.Runtime, spanBookkeeping, start, p.Now(), 0)
 }
 
 // RunStats summarizes one Runtime.Run invocation.

@@ -334,7 +334,7 @@ func (c *Ctx) RunFPGA(spec proc.BitstreamSpec, elements int64, fn func()) (sim.T
 	}
 	// The model slept exactly t before returning, so [now-t, now) is the
 	// busy interval (the same shape every compute charge below uses).
-	c.rt.chargeSpan(trace.Lane{Node: c.node.ID, Track: trace.TrackFPGA},
+	c.rt.chargeSpan(c.p, trace.Lane{Node: c.node.ID, Track: trace.TrackFPGA},
 		trace.FPGACompute, spanFPGA, c.p.Now()-t, c.p.Now(), elements)
 	return t, nil
 }
@@ -374,7 +374,7 @@ func (c *Ctx) LaunchKernel(k gpu.Kernel, groups int) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	c.rt.chargeSpan(trace.Lane{Node: c.node.ID, Track: trace.TrackGPU},
+	c.rt.chargeSpan(c.p, trace.Lane{Node: c.node.ID, Track: trace.TrackGPU},
 		trace.GPUCompute, spanKernel, c.p.Now()-t, c.p.Now(), int64(groups))
 	return t, nil
 }
@@ -393,7 +393,7 @@ func (c *Ctx) RunCPUParallel(flops, bytes float64, fn func()) (sim.Time, error) 
 		return 0, fmt.Errorf("core: no %v at or above %v", proc.CPU, c.node)
 	}
 	t := m.RunParallel(c.p, flops, bytes, fn)
-	c.rt.chargeSpan(trace.Lane{Node: c.node.ID, Track: trace.TrackCPU},
+	c.rt.chargeSpan(c.p, trace.Lane{Node: c.node.ID, Track: trace.TrackCPU},
 		trace.CPUCompute, spanCPU, c.p.Now()-t, c.p.Now(), int64(bytes))
 	return t, nil
 }
@@ -408,7 +408,7 @@ func (c *Ctx) RunPIM(flops, bytes float64, fn func()) (sim.Time, error) {
 		return 0, fmt.Errorf("core: no %v at or above %v", proc.PIM, c.node)
 	}
 	t := m.RunParallel(c.p, flops, bytes, fn)
-	c.rt.chargeSpan(trace.Lane{Node: c.node.ID, Track: trace.TrackPIM},
+	c.rt.chargeSpan(c.p, trace.Lane{Node: c.node.ID, Track: trace.TrackPIM},
 		trace.PIMCompute, spanPIM, c.p.Now()-t, c.p.Now(), int64(bytes))
 	return t, nil
 }
@@ -420,7 +420,7 @@ func (c *Ctx) runThroughput(k proc.Kind, cat trace.Category, flops, bytes float6
 	}
 	t := m.Run(c.p, flops, bytes, fn)
 	track, name := computeTrack(cat)
-	c.rt.chargeSpan(trace.Lane{Node: c.node.ID, Track: track},
+	c.rt.chargeSpan(c.p, trace.Lane{Node: c.node.ID, Track: track},
 		cat, name, c.p.Now()-t, c.p.Now(), int64(bytes))
 	return t, nil
 }
@@ -444,12 +444,12 @@ func computeTrack(cat trace.Category) (track, name string) {
 // caller has just slept t, so the span covers [now-t, now) on the worker's
 // own lane — each worker process renders as its own timeline track.
 func (c *Ctx) ChargeCPU(t sim.Time) {
-	c.rt.chargeSpan(trace.Lane{Node: c.node.ID, Track: c.p.Name()},
+	c.rt.chargeSpan(c.p, trace.Lane{Node: c.node.ID, Track: c.p.Name()},
 		trace.CPUCompute, spanWorkerTask, c.p.Now()-t, c.p.Now(), 0)
 }
 
 // ChargeGPU accounts externally computed GPU time.
 func (c *Ctx) ChargeGPU(t sim.Time) {
-	c.rt.chargeSpan(trace.Lane{Node: c.node.ID, Track: c.p.Name()},
+	c.rt.chargeSpan(c.p, trace.Lane{Node: c.node.ID, Track: c.p.Name()},
 		trace.GPUCompute, spanWorkerTask, c.p.Now()-t, c.p.Now(), 0)
 }

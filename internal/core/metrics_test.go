@@ -57,7 +57,7 @@ func TestMetricsDisabledZeroAlloc(t *testing.T) {
 	}
 	lane := trace.Lane{Node: 1, Track: trace.TrackXfer}
 	allocs := testing.AllocsPerRun(200, func() {
-		rt.chargeSpan(lane, trace.Transfer, spanMove, 0, 10, 64)
+		rt.chargeSpan(nil, lane, trace.Transfer, spanMove, 0, 10, 64)
 		rt.NoteQueueDepth(1, 5)
 		rt.NotePops(1)
 		rt.NoteSteals(1)

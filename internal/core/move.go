@@ -78,7 +78,7 @@ func (rt *Runtime) moveOnce(p *sim.Proc, dst *Buffer, src *Buffer, dstOff, srcOf
 		copy(dst.data[dstOff:dstOff+n], src.data[srcOff:srcOff+n])
 		rt.link(src, dst).Transfer(p, src.node.Mem, dst.node.Mem, n)
 	}
-	rt.chargeSpan(moveLane(cat, dst, src), cat, spanMove, start, p.Now(), n)
+	rt.chargeSpan(p, moveLane(cat, dst, src), cat, spanMove, start, p.Now(), n)
 	return err
 }
 
@@ -191,7 +191,7 @@ func (rt *Runtime) move2DOnce(p *sim.Proc, dst *Buffer, src *Buffer,
 			}
 		}
 	}
-	rt.chargeSpan(moveLane(cat, dst, src), cat, spanMove2D, start, p.Now(), int64(rows)*int64(rowBytes))
+	rt.chargeSpan(p, moveLane(cat, dst, src), cat, spanMove2D, start, p.Now(), int64(rows)*int64(rowBytes))
 	return err
 }
 
@@ -222,7 +222,7 @@ func (rt *Runtime) movePhantom(p *sim.Proc, dst, src *Buffer, dstOff, srcOff, n 
 		cat = trace.Transfer
 		rt.link(src, dst).Transfer(p, src.node.Mem, dst.node.Mem, n)
 	}
-	rt.chargeSpan(moveLane(cat, dst, src), cat, spanMove, start, p.Now(), n)
+	rt.chargeSpan(p, moveLane(cat, dst, src), cat, spanMove, start, p.Now(), n)
 	return err
 }
 

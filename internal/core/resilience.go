@@ -187,6 +187,6 @@ func (rt *Runtime) withRetry(p *sim.Proc, what string, op func() error) error {
 		}
 		backoffStart := p.Now()
 		p.Sleep(sleep)
-		rt.chargeSpan(laneRuntime, trace.Runtime, spanBackoff, backoffStart, p.Now(), int64(attempt))
+		rt.chargeSpan(p, laneRuntime, trace.Runtime, spanBackoff, backoffStart, p.Now(), int64(attempt))
 	}
 }

@@ -42,6 +42,33 @@ const (
 // off.
 func (rt *Runtime) TraceRecorder() *trace.Recorder { return rt.rec }
 
+// SpanSink observes, from inside the charge point, every busy-time span
+// charged by one proc. It is how a per-job journey (internal/journey)
+// learns its phases: the serve tier attaches a sink on the job's root
+// proc, and every chargeSpan on that proc — staging moves, allocs,
+// kernels, CPU compute, bookkeeping — is mirrored to the sink with the
+// exact interval the Breakdown was charged. Sinks run on the simulation
+// goroutine, must not block, and must not interact with the engine: they
+// are observation only, so an attached sink never changes the schedule.
+type SpanSink interface {
+	NoteSpan(cat trace.Category, lane trace.Lane, name string, start, end sim.Time, value int64)
+}
+
+// AttachSpanSink registers s to observe every span charged by this
+// context's proc, and returns the detach function. One sink per proc:
+// attaching again replaces the previous sink. Spans charged by child
+// procs (Spawn, ParallelFor, streamed-move hops) are NOT forwarded —
+// only work on the attached proc itself — which is exactly right for the
+// serve tier's sequential job bodies.
+func (c *Ctx) AttachSpanSink(s SpanSink) (detach func()) {
+	rt, p := c.rt, c.p
+	if rt.sinks == nil {
+		rt.sinks = make(map[*sim.Proc]SpanSink)
+	}
+	rt.sinks[p] = s
+	return func() { delete(rt.sinks, p) }
+}
+
 // traceActive reports whether anything consumes span events. It is the
 // guard in front of every span emission: false (the default) short-circuits
 // tracing to one branch and zero allocations.
@@ -99,12 +126,15 @@ func (rt *Runtime) emitCounter(lane trace.Lane, name string, t sim.Time, value i
 }
 
 // chargeSpan is the single charge point pairing Breakdown accounting with
-// span emission and metrics: d = end-start goes to the category; when
-// tracing is active the same interval becomes a span on lane; when metrics
-// are on the identical duration feeds the registry's busy counter and span
-// histogram (metrics.go) — one code path, so all three accountings agree
-// bit for bit.
-func (rt *Runtime) chargeSpan(lane trace.Lane, cat trace.Category, name string, start, end sim.Time, value int64) {
+// span emission, metrics, and per-proc span sinks: d = end-start goes to
+// the category; when tracing is active the same interval becomes a span on
+// lane; when metrics are on the identical duration feeds the registry's
+// busy counter and span histogram (metrics.go); when a sink is attached to
+// the charging proc the same interval is mirrored to it (journey phases) —
+// one code path, so all four accountings agree bit for bit. p is the proc
+// doing the work (nil from charge-only unit tests), used solely to key the
+// sink lookup.
+func (rt *Runtime) chargeSpan(p *sim.Proc, lane trace.Lane, cat trace.Category, name string, start, end sim.Time, value int64) {
 	rt.bd.Add(cat, end-start)
 	if rt.traceActive() {
 		rt.emitSpan(lane, cat, name, start, end, value)
@@ -112,6 +142,11 @@ func (rt *Runtime) chargeSpan(lane trace.Lane, cat trace.Category, name string, 
 	if rt.met != nil {
 		rt.met.noteSpan(lane, cat, start, end, value)
 		rt.maybeSample(end)
+	}
+	if rt.sinks != nil && p != nil {
+		if s := rt.sinks[p]; s != nil {
+			s.NoteSpan(cat, lane, name, start, end, value)
+		}
 	}
 }
 

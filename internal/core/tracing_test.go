@@ -18,7 +18,7 @@ func TestTraceDisabledZeroAlloc(t *testing.T) {
 	}
 	lane := trace.Lane{Node: 1, Track: trace.TrackXfer}
 	allocs := testing.AllocsPerRun(200, func() {
-		rt.chargeSpan(lane, trace.Transfer, spanMove, 0, 10, 64)
+		rt.chargeSpan(nil, lane, trace.Transfer, spanMove, 0, 10, 64)
 		rt.emitSpan(lane, trace.None, spanWorkerTask, 0, 10, 0)
 		rt.emitInstant(lane, "steal", 5, 1)
 		rt.emitCounter(lane, "depth", 5, 3)
@@ -35,7 +35,7 @@ func BenchmarkChargeSpanDisabled(b *testing.B) {
 	lane := trace.Lane{Node: 1, Track: trace.TrackXfer}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		e.chargeSpan(lane, trace.Transfer, spanMove, 0, 10, 64)
+		e.chargeSpan(nil, lane, trace.Transfer, spanMove, 0, 10, 64)
 	}
 }
 
@@ -78,7 +78,7 @@ func TestChargeSpanKeepsBreakdownAndRecorderInStep(t *testing.T) {
 	_, rt := newAPURuntime(t)
 	rt.rec = rec
 	before := rt.bd.Busy(trace.Transfer)
-	rt.chargeSpan(trace.Lane{Node: 1, Track: trace.TrackXfer}, trace.Transfer, spanMove, 100, 350, 4096)
+	rt.chargeSpan(nil, trace.Lane{Node: 1, Track: trace.TrackXfer}, trace.Transfer, spanMove, 100, 350, 4096)
 	if d := rt.bd.Busy(trace.Transfer) - before; d != 250 {
 		t.Fatalf("breakdown gained %v, want 250", d)
 	}

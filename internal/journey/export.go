@@ -1,0 +1,197 @@
+package journey
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file exports journeys: a JSON document per run, and synthesized
+// Chrome trace events so a serve trace opened in Perfetto shows one
+// "job:<traceID>" lane per journey next to the runtime's node lanes.
+// Journey lanes are synthesized at export time only — they are never
+// emitted into the live trace ring, so ops burn-window attribution (which
+// reads the ring) keeps seeing exactly the runtime's own events.
+
+// JobDoc is one journey in export form.
+type JobDoc struct {
+	TraceID    string       `json:"trace_id"`
+	Tenant     string       `json:"tenant"`
+	ID         int          `json:"id"`
+	Workload   string       `json:"workload"`
+	N          int          `json:"n"`
+	ArriveNS   int64        `json:"arrive_ns"`
+	StartNS    int64        `json:"start_ns"`
+	DoneNS     int64        `json:"done_ns"`
+	LatencyNS  int64        `json:"latency_ns"`
+	Failed     bool         `json:"failed,omitempty"`
+	Behind     []string     `json:"behind,omitempty"`
+	Phases     []PhaseTotal `json:"phases"`
+	Segments   []Segment    `json:"segments"`
+	SegDropped int          `json:"segments_dropped,omitempty"`
+}
+
+// Doc renders the journey in export form.
+func (j *Job) Doc() *JobDoc {
+	segs, dropped := j.Segments()
+	return &JobDoc{
+		TraceID:    j.TraceID,
+		Tenant:     j.Tenant,
+		ID:         j.ID,
+		Workload:   j.Workload,
+		N:          j.N,
+		ArriveNS:   int64(j.Arrive),
+		StartNS:    int64(j.Start),
+		DoneNS:     int64(j.Done),
+		LatencyNS:  int64(j.Latency()),
+		Failed:     j.Failed,
+		Behind:     j.Behind,
+		Phases:     j.Phases(),
+		Segments:   segs,
+		SegDropped: dropped,
+	}
+}
+
+// ExportSchema versions the journeys JSON document.
+const ExportSchema = "northup-journeys/v1"
+
+// Export is the run-level journeys document.
+type Export struct {
+	Schema string    `json:"schema"`
+	Seed   int64     `json:"seed"`
+	Jobs   []*JobDoc `json:"jobs"`
+}
+
+// Export renders every completed journey, in completion order.
+func (r *Recorder) Export() *Export {
+	out := &Export{Schema: ExportSchema, Seed: r.seed}
+	for _, j := range r.jobs {
+		out.Jobs = append(out.Jobs, j.Doc())
+	}
+	return out
+}
+
+// jobTrackPrefix prefixes the per-journey lane names in Chrome exports.
+const jobTrackPrefix = "job:"
+
+// JobTrack names the Chrome-trace lane of one trace ID.
+func JobTrack(traceID string) string { return jobTrackPrefix + traceID }
+
+// ChromeEvents synthesizes the journeys' phase segments as span events on
+// per-job lanes ({NoNode, "job:<traceID>"}), ready to append to a
+// recorder's event slice before trace.WriteChromeTrace. seqBase must
+// exceed every appended-to event's Seq so the combined ordering stays
+// total and deterministic.
+func ChromeEvents(jobs []*Job, seqBase uint64) []trace.Event {
+	var out []trace.Event
+	seq := seqBase
+	for _, j := range jobs {
+		lane := trace.Lane{Node: trace.NoNode, Track: JobTrack(j.TraceID)}
+		segs, _ := j.Segments()
+		for _, s := range segs {
+			out = append(out, trace.Event{
+				Kind:  trace.KindSpan,
+				Cat:   trace.None,
+				Name:  s.Phase,
+				Lane:  lane,
+				Start: sim.Time(s.StartNS),
+				Dur:   sim.Time(s.DurNS),
+				Value: s.Bytes,
+				Seq:   seq,
+			})
+			seq++
+		}
+	}
+	return out
+}
+
+// MaxSeq returns the largest Seq among events (0 when empty) — the base
+// for appending synthesized journey events.
+func MaxSeq(events []trace.Event) uint64 {
+	var max uint64
+	for _, ev := range events {
+		if ev.Seq > max {
+			max = ev.Seq
+		}
+	}
+	return max
+}
+
+// WaterfallFromEvents reconstructs one job's waterfall from a parsed
+// Chrome trace containing journey lanes (northup-trace -job). It returns
+// an error naming the available job lanes when the trace ID is absent.
+func WaterfallFromEvents(events []trace.Event, traceID string) (string, error) {
+	want := JobTrack(traceID)
+	var segs []trace.Event
+	lanes := map[string]bool{}
+	for _, ev := range events {
+		if !strings.HasPrefix(ev.Lane.Track, jobTrackPrefix) {
+			continue
+		}
+		lanes[strings.TrimPrefix(ev.Lane.Track, jobTrackPrefix)] = true
+		if ev.Kind == trace.KindSpan && ev.Lane.Track == want {
+			segs = append(segs, ev)
+		}
+	}
+	if len(segs) == 0 {
+		if len(lanes) == 0 {
+			return "", fmt.Errorf("journey: trace has no job lanes (re-export with journeys enabled)")
+		}
+		ids := make([]string, 0, len(lanes))
+		for id := range lanes {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		return "", fmt.Errorf("journey: no job %s in trace; %d job lane(s): %s",
+			traceID, len(ids), strings.Join(ids, " "))
+	}
+	sort.Slice(segs, func(a, b int) bool {
+		if segs[a].Start != segs[b].Start {
+			return segs[a].Start < segs[b].Start
+		}
+		return segs[a].Seq < segs[b].Seq
+	})
+
+	arrive := segs[0].Start
+	end := segs[len(segs)-1].End()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "job trace %s — latency %s (arrive %s, %d segments)\n",
+		traceID, fmtNS(int64(end-arrive)), fmtNS(int64(arrive)), len(segs))
+	fmt.Fprintf(&sb, "  %-12s %12s  %-24s %12s\n", "offset", "dur", "phase", "bytes")
+	lat := int64(end - arrive)
+	totals := map[string]int64{}
+	var order []string
+	for _, s := range segs {
+		share := 0.0
+		if lat > 0 {
+			share = float64(s.Dur) / float64(lat)
+		}
+		bytes := ""
+		if s.Value > 0 {
+			bytes = fmt.Sprintf("%d", s.Value)
+		}
+		fmt.Fprintf(&sb, "  +%-11s %12s  %-24s %12s %s\n",
+			fmtNS(int64(s.Start-arrive)), fmtNS(int64(s.Dur)), s.Name, bytes, bar(share, 24))
+		if _, ok := totals[s.Name]; !ok {
+			order = append(order, s.Name)
+		}
+		totals[s.Name] += int64(s.Dur)
+	}
+	fmt.Fprintf(&sb, "  phase totals:")
+	for i, ph := range order {
+		sep := " "
+		if i > 0 {
+			sep = " | "
+		}
+		share := 0.0
+		if lat > 0 {
+			share = float64(totals[ph]) / float64(lat)
+		}
+		fmt.Fprintf(&sb, "%s%s %.1f%%", sep, ph, share*100)
+	}
+	sb.WriteString("\n")
+	return sb.String(), nil
+}

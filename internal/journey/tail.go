@@ -1,0 +1,226 @@
+package journey
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// This file is the tail-latency analyzer: given a run's journeys it
+// decomposes any latency quantile into per-phase contributions per tenant
+// and picks the quantile job itself as the exemplar to render as a
+// waterfall. Everything is derived from finished journeys only, sorted
+// deterministically, so the output is byte-identical across runs.
+
+// PhaseShare is one phase's contribution to the tail's total latency.
+type PhaseShare struct {
+	Phase string  `json:"phase"`
+	NS    int64   `json:"ns"`
+	Share float64 `json:"share"`
+}
+
+// TenantTail decomposes one tenant's latency tail.
+type TenantTail struct {
+	Tenant string  `json:"tenant"`
+	Q      float64 `json:"quantile"`
+	// Jobs is the tenant's finished-journey count; TailJobs of them sit at
+	// or above the quantile threshold and feed the decomposition.
+	Jobs        int   `json:"jobs"`
+	TailJobs    int   `json:"tail_jobs"`
+	ThresholdNS int64 `json:"threshold_ns"`
+	// Phases are the tail jobs' aggregated phase totals, largest first.
+	Phases []PhaseShare `json:"phases"`
+	// Exemplar is the quantile job itself — the one whose latency is the
+	// threshold (ties broken by trace ID, so the pick is deterministic).
+	Exemplar *Job `json:"-"`
+}
+
+// TailReport is the analyzer's output across tenants.
+type TailReport struct {
+	Q       float64      `json:"quantile"`
+	Tenants []TenantTail `json:"tenants"`
+}
+
+// Tail decomposes the q-quantile latency of each tenant's finished
+// journeys into phase contributions. The threshold follows the obs
+// histogram convention: the smallest latency with rank >= ceil(q*n).
+func Tail(jobs []*Job, q float64) *TailReport {
+	byTenant := map[string][]*Job{}
+	var tenants []string
+	for _, j := range jobs {
+		if !j.finished {
+			continue
+		}
+		if _, ok := byTenant[j.Tenant]; !ok {
+			tenants = append(tenants, j.Tenant)
+		}
+		byTenant[j.Tenant] = append(byTenant[j.Tenant], j)
+	}
+	sort.Strings(tenants)
+
+	rep := &TailReport{Q: q}
+	for _, name := range tenants {
+		js := byTenant[name]
+		sort.Slice(js, func(a, b int) bool {
+			if js[a].Latency() != js[b].Latency() {
+				return js[a].Latency() < js[b].Latency()
+			}
+			return js[a].TraceID < js[b].TraceID
+		})
+		rank := int(float64(len(js)) * q)
+		if float64(rank) < float64(len(js))*q {
+			rank++
+		}
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(js) {
+			rank = len(js)
+		}
+		pivot := js[rank-1]
+		tail := js[rank-1:]
+
+		totals := map[string]int64{}
+		var order []string
+		var tailNS int64
+		for _, j := range tail {
+			for _, pt := range j.Phases() {
+				if _, ok := totals[pt.Phase]; !ok {
+					order = append(order, pt.Phase)
+				}
+				totals[pt.Phase] += pt.NS
+				tailNS += pt.NS
+			}
+		}
+		shares := make([]PhaseShare, 0, len(order))
+		for _, ph := range order {
+			s := PhaseShare{Phase: ph, NS: totals[ph]}
+			if tailNS > 0 {
+				s.Share = float64(s.NS) / float64(tailNS)
+			}
+			shares = append(shares, s)
+		}
+		sort.Slice(shares, func(a, b int) bool {
+			if shares[a].NS != shares[b].NS {
+				return shares[a].NS > shares[b].NS
+			}
+			return shares[a].Phase < shares[b].Phase
+		})
+		rep.Tenants = append(rep.Tenants, TenantTail{
+			Tenant:      name,
+			Q:           q,
+			Jobs:        len(js),
+			TailJobs:    len(tail),
+			ThresholdNS: int64(pivot.Latency()),
+			Phases:      shares,
+			Exemplar:    pivot,
+		})
+	}
+	return rep
+}
+
+// SlowestPhase returns the name of the largest phase contribution, or "".
+func (t *TenantTail) SlowestPhase() string {
+	if len(t.Phases) == 0 {
+		return ""
+	}
+	return t.Phases[0].Phase
+}
+
+// String renders the report as fixed-width tables, one per tenant, each
+// followed by the quantile job's waterfall.
+func (r *TailReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "tail-latency decomposition at p%g\n", r.Q*100)
+	for i := range r.Tenants {
+		t := &r.Tenants[i]
+		fmt.Fprintf(&sb, "\ntenant %s: %d jobs, %d in tail, threshold %s\n",
+			t.Tenant, t.Jobs, t.TailJobs, fmtNS(t.ThresholdNS))
+		fmt.Fprintf(&sb, "  %-24s %14s %7s\n", "phase", "total", "share")
+		for _, p := range t.Phases {
+			fmt.Fprintf(&sb, "  %-24s %14s %6.1f%% %s\n",
+				p.Phase, fmtNS(p.NS), p.Share*100, bar(p.Share, 24))
+		}
+		if t.Exemplar != nil {
+			sb.WriteString("\n")
+			sb.WriteString(Waterfall(t.Exemplar))
+		}
+	}
+	return sb.String()
+}
+
+// Waterfall renders one job's journey as a time-ordered segment table.
+func Waterfall(j *Job) string {
+	var sb strings.Builder
+	status := "ok"
+	if j.Failed {
+		status = "FAILED"
+	}
+	fmt.Fprintf(&sb, "job %s/j%04d %s n=%d trace %s — latency %s (arrive %s, %s)\n",
+		j.Tenant, j.ID, j.Workload, j.N, j.TraceID,
+		fmtNS(int64(j.Latency())), fmtNS(int64(j.Arrive)), status)
+	if len(j.Behind) > 0 {
+		fmt.Fprintf(&sb, "  queued behind %d job(s): %s\n", len(j.Behind), strings.Join(j.Behind, " "))
+	}
+	fmt.Fprintf(&sb, "  %-12s %12s  %-24s %12s\n", "offset", "dur", "phase", "bytes")
+	segs, dropped := j.Segments()
+	lat := int64(j.Latency())
+	for _, s := range segs {
+		share := 0.0
+		if lat > 0 {
+			share = float64(s.DurNS) / float64(lat)
+		}
+		bytes := ""
+		if s.Bytes > 0 {
+			bytes = fmt.Sprintf("%d", s.Bytes)
+		}
+		fmt.Fprintf(&sb, "  +%-11s %12s  %-24s %12s %s\n",
+			fmtNS(s.StartNS-int64(j.Arrive)), fmtNS(s.DurNS), s.Phase, bytes, bar(share, 24))
+	}
+	if dropped > 0 {
+		fmt.Fprintf(&sb, "  ... %d segment(s) past the cap (phase totals stay exact)\n", dropped)
+	}
+	fmt.Fprintf(&sb, "  phase totals:")
+	for i, pt := range j.Phases() {
+		sep := " "
+		if i > 0 {
+			sep = " | "
+		}
+		share := 0.0
+		if lat > 0 {
+			share = float64(pt.NS) / float64(lat)
+		}
+		fmt.Fprintf(&sb, "%s%s %.1f%%", sep, pt.Phase, share*100)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// bar renders share as a fixed-width ASCII bar.
+func bar(share float64, width int) string {
+	n := int(share*float64(width) + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// fmtNS renders virtual nanoseconds with a human unit, deterministically.
+func fmtNS(ns int64) string {
+	d := sim.Time(ns)
+	switch {
+	case d >= sim.Second:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	case d >= sim.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+	case d >= sim.Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

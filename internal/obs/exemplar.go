@@ -1,0 +1,130 @@
+package obs
+
+// Histogram exemplars: each bucket optionally retains the top-K worst
+// observations together with the trace ID of the job that produced them,
+// so a latency histogram can name its p99 offenders instead of
+// aggregating them away. ObserveExemplar is a strict superset of Observe
+// — counts, sum and max are identical either way — so enabling exemplars
+// never changes a histogram's numeric exports, quantiles or merges; only
+// the exemplar annotations appear. Storage is lazy: a histogram that
+// never sees ObserveExemplar carries no exemplar state at all.
+//
+// Selection is deterministic: within a bucket, exemplars are kept sorted
+// by value descending, ties by trace ID ascending, capped at K. Merging
+// two histograms merges their exemplar lists under the same order, so
+// rollups stay associative and byte-stable.
+
+// DefaultExemplarK is the per-bucket exemplar retention.
+const DefaultExemplarK = 3
+
+// Exemplar ties one observation to the trace ID that produced it.
+type Exemplar struct {
+	TraceID string `json:"trace_id"`
+	Value   int64  `json:"value"`
+}
+
+// ObserveExemplar records one value exactly like Observe and, when
+// traceID is non-empty, retains it as a candidate exemplar of its bucket.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	if h.ex == nil {
+		h.ex = make([][]Exemplar, len(h.bounds)+1)
+		h.exK = DefaultExemplarK
+	}
+	i := h.bucketIdx(v)
+	h.ex[i] = insertExemplar(h.ex[i], Exemplar{TraceID: traceID, Value: v}, h.exK)
+}
+
+// bucketIdx returns the bucket an observation lands in (the same walk
+// Observe does; the last index is the +Inf bucket).
+func (h *Histogram) bucketIdx(v int64) int {
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds)
+}
+
+// insertExemplar folds e into the sorted (value desc, trace ID asc) list,
+// capped at k. A trace ID already present keeps only its worst value.
+func insertExemplar(list []Exemplar, e Exemplar, k int) []Exemplar {
+	for i, x := range list {
+		if x.TraceID == e.TraceID {
+			if e.Value <= x.Value {
+				return list
+			}
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	pos := len(list)
+	for i, x := range list {
+		if e.Value > x.Value || (e.Value == x.Value && e.TraceID < x.TraceID) {
+			pos = i
+			break
+		}
+	}
+	list = append(list, Exemplar{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = e
+	if len(list) > k {
+		list = list[:k]
+	}
+	return list
+}
+
+// BucketExemplar returns the worst exemplar of bucket i (i in
+// [0, len(bounds)]; the last index is +Inf), or false when the bucket has
+// none.
+func (h *Histogram) BucketExemplar(i int) (Exemplar, bool) {
+	if h.ex == nil || i < 0 || i >= len(h.ex) || len(h.ex[i]) == 0 {
+		return Exemplar{}, false
+	}
+	return h.ex[i][0], true
+}
+
+// TopExemplars returns the k worst exemplars across all buckets, value
+// descending (ties by trace ID ascending).
+func (h *Histogram) TopExemplars(k int) []Exemplar {
+	if h.ex == nil || k <= 0 {
+		return nil
+	}
+	var out []Exemplar
+	for i := len(h.ex) - 1; i >= 0; i-- {
+		for _, e := range h.ex[i] {
+			out = insertExemplar(out, e, k)
+		}
+	}
+	return out
+}
+
+// HasExemplars reports whether any bucket retains an exemplar.
+func (h *Histogram) HasExemplars() bool {
+	for _, b := range h.ex {
+		if len(b) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeExemplars folds o's exemplars into h (same bucket layout, already
+// checked by mergeOne).
+func (h *Histogram) mergeExemplars(o *Histogram) {
+	if o.ex == nil {
+		return
+	}
+	if h.ex == nil {
+		h.ex = make([][]Exemplar, len(h.bounds)+1)
+		h.exK = o.exK
+	}
+	for i, bucket := range o.ex {
+		for _, e := range bucket {
+			h.ex[i] = insertExemplar(h.ex[i], e, h.exK)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var exBounds = []int64{10, 100, 1000}
+
+func TestObserveExemplarMatchesObserveNumerically(t *testing.T) {
+	plain := NewRegistry().Histogram("h", "", exBounds)
+	ex := NewRegistry().Histogram("h", "", exBounds)
+	vals := []int64{1, 5, 50, 500, 5000, 50, 7}
+	for i, v := range vals {
+		plain.Observe(v)
+		ex.ObserveExemplar(v, TraceIDForTest(i))
+	}
+	if plain.Count() != ex.Count() || plain.Sum() != ex.Sum() || plain.Max() != ex.Max() {
+		t.Fatalf("exemplar observation changed the numbers: count %d/%d sum %d/%d max %d/%d",
+			plain.Count(), ex.Count(), plain.Sum(), ex.Sum(), plain.Max(), ex.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if plain.Quantile(q) != ex.Quantile(q) {
+			t.Fatalf("q%g diverges: %d vs %d", q, plain.Quantile(q), ex.Quantile(q))
+		}
+	}
+}
+
+// TraceIDForTest derives a distinct fake trace ID per index.
+func TraceIDForTest(i int) string {
+	return strings.Repeat("0", 15-i%10) + string(rune('a'+i%10))
+}
+
+func TestExemplarSelectionDeterministic(t *testing.T) {
+	h := NewRegistry().Histogram("h", "", exBounds)
+	h.ObserveExemplar(700, "bbb")
+	h.ObserveExemplar(900, "aaa")
+	h.ObserveExemplar(800, "ccc")
+	h.ObserveExemplar(850, "ddd") // 4th into a K=3 bucket: evicts 700/bbb
+	h.ObserveExemplar(600, "aaa") // smaller repeat of an ID: ignored
+	h.ObserveExemplar(950, "ccc") // larger repeat: replaces 800
+
+	want := []Exemplar{{TraceID: "ccc", Value: 950}, {TraceID: "aaa", Value: 900}, {TraceID: "ddd", Value: 850}}
+	if got := h.TopExemplars(3); !reflect.DeepEqual(got, want) {
+		t.Fatalf("top exemplars = %+v, want %+v", got, want)
+	}
+	worst, ok := h.BucketExemplar(3 - 1) // bucket le=1000
+	if !ok || worst != want[0] {
+		t.Fatalf("bucket exemplar = %+v %v", worst, ok)
+	}
+	if !h.HasExemplars() {
+		t.Fatal("HasExemplars = false")
+	}
+	// Top-K across buckets ranks by value regardless of bucket.
+	h.ObserveExemplar(5000, "inf")
+	if got := h.TopExemplars(2); got[0].TraceID != "inf" || got[1].TraceID != "ccc" {
+		t.Fatalf("cross-bucket top = %+v", got)
+	}
+}
+
+func TestExemplarMergeAssociative(t *testing.T) {
+	build := func(obs ...[2]any) *Registry {
+		r := NewRegistry()
+		h := r.Histogram("h", "", exBounds)
+		for _, o := range obs {
+			h.ObserveExemplar(int64(o[0].(int)), o[1].(string))
+		}
+		return r
+	}
+	a := build([2]any{50, "a1"}, [2]any{60, "a2"})
+	b := build([2]any{70, "b1"}, [2]any{55, "b2"})
+
+	ab := NewRegistry()
+	ab.Merge(a)
+	ab.Merge(b)
+	ba := NewRegistry()
+	ba.Merge(b)
+	ba.Merge(a)
+	var s1, s2 bytes.Buffer
+	if err := ab.WritePrometheus(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.WritePrometheus(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Fatalf("merge order changed exemplar export:\n%s\n%s", s1.String(), s2.String())
+	}
+	if !strings.Contains(s1.String(), `# {trace_id="b1"} 70`) {
+		t.Fatalf("merged export missing b1 exemplar:\n%s", s1.String())
+	}
+}
+
+func TestPrometheusExemplarSyntax(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("northup_lat", "latency", exBounds, L("tenant", "a"))
+	h.ObserveExemplar(50, "cafe")
+	h.ObserveExemplar(5000, "dead") // +Inf bucket
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`le="100"} 1 # {trace_id="cafe"} 50`,
+		`le="+Inf"} 2 # {trace_id="dead"} 5000`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A histogram without exemplars keeps the pre-exemplar byte format.
+	r2 := NewRegistry()
+	r2.Histogram("northup_lat", "latency", exBounds, L("tenant", "a")).Observe(50)
+	var plain bytes.Buffer
+	if err := r2.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "trace_id") {
+		t.Fatalf("exemplar syntax leaked into a plain histogram:\n%s", plain.String())
+	}
+}
+
+func TestJSONExportCarriesExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("northup_lat", "latency", exBounds)
+	h.ObserveExemplar(5000, "beef")
+	doc := r.Export(nil)
+	if len(doc.Exemplars) != 1 {
+		t.Fatalf("exemplars = %+v", doc.Exemplars)
+	}
+	x := doc.Exemplars[0]
+	if x.Metric != "northup_lat" || x.LE != "+Inf" || x.TraceID != "beef" || x.Value != 5000 {
+		t.Fatalf("exemplar doc %+v", x)
+	}
+}

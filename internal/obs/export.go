@@ -44,10 +44,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				cum := int64(0)
 				for i, b := range m.h.bounds {
 					cum += m.h.counts[i]
-					fmt.Fprintf(&sb, "%s %d\n", histName(full, "_bucket", fmt.Sprintf("%d", b)), cum)
+					fmt.Fprintf(&sb, "%s %d%s\n", histName(full, "_bucket", fmt.Sprintf("%d", b)), cum,
+						exemplarSuffix(m.h, i))
 				}
 				cum += m.h.counts[len(m.h.bounds)]
-				fmt.Fprintf(&sb, "%s %d\n", histName(full, "_bucket", "+Inf"), cum)
+				fmt.Fprintf(&sb, "%s %d%s\n", histName(full, "_bucket", "+Inf"), cum,
+					exemplarSuffix(m.h, len(m.h.bounds)))
 				fmt.Fprintf(&sb, "%s %d\n", histName(full, "_sum", ""), m.h.sum)
 				fmt.Fprintf(&sb, "%s %d\n", histName(full, "_count", ""), m.h.n)
 			}
@@ -55,6 +57,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// exemplarSuffix renders bucket i's worst exemplar in the OpenMetrics
+// exemplar syntax (" # {trace_id=\"...\"} value"), or "" when the bucket
+// has none — so histograms without exemplars export byte-identically to
+// before exemplars existed.
+func exemplarSuffix(h *Histogram, i int) string {
+	e, ok := h.BucketExemplar(i)
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %d", e.TraceID, e.Value)
 }
 
 // JSONMetric is one entry of the JSON export: a flattened scalar with its
@@ -65,12 +79,24 @@ type JSONMetric struct {
 	Value float64 `json:"value"`
 }
 
+// JSONExemplar is one exported histogram exemplar: the owning metric, the
+// bucket it annotates, and the (trace ID, value) pair.
+type JSONExemplar struct {
+	Metric  string `json:"metric"`
+	LE      string `json:"le"`
+	TraceID string `json:"trace_id"`
+	Value   int64  `json:"value"`
+}
+
 // JSONExport is the document WriteJSON produces: the flattened snapshot
-// plus any sampled time series.
+// plus any sampled time series and histogram exemplars. Exemplars are
+// omitted entirely when no histogram retains any, so exports without them
+// are byte-identical to the pre-exemplar format.
 type JSONExport struct {
-	Schema  string       `json:"schema"`
-	Metrics []JSONMetric `json:"metrics"`
-	Series  []Series     `json:"series,omitempty"`
+	Schema    string         `json:"schema"`
+	Metrics   []JSONMetric   `json:"metrics"`
+	Series    []Series       `json:"series,omitempty"`
+	Exemplars []JSONExemplar `json:"exemplars,omitempty"`
 }
 
 // jsonSchema versions the export document.
@@ -85,7 +111,30 @@ func (r *Registry) Export(s *Sampler) *JSONExport {
 		doc.Metrics = append(doc.Metrics, JSONMetric{Name: p.Name, Kind: p.Kind.String(), Value: p.Value})
 	}
 	doc.Series = s.Series()
+	doc.Exemplars = r.exemplars()
 	return doc
+}
+
+// exemplars flattens every histogram bucket's retained exemplars, in
+// sorted metric order then bucket order then rank order.
+func (r *Registry) exemplars() []JSONExemplar {
+	var out []JSONExemplar
+	for _, full := range r.sorted() {
+		m := r.metrics[full]
+		if m.kind != KindHistogram || m.h.ex == nil {
+			continue
+		}
+		for i, bucket := range m.h.ex {
+			le := "+Inf"
+			if i < len(m.h.bounds) {
+				le = fmt.Sprintf("%d", m.h.bounds[i])
+			}
+			for _, e := range bucket {
+				out = append(out, JSONExemplar{Metric: full, LE: le, TraceID: e.TraceID, Value: e.Value})
+			}
+		}
+	}
+	return out
 }
 
 // WriteJSON writes the registry (and optional sampler series) as indented

@@ -135,6 +135,12 @@ type Histogram struct {
 	sum    int64
 	n      int64
 	max    int64 // largest observation; bounds Quantile's +Inf bucket
+
+	// ex, when non-nil, retains the top-K worst exemplars per bucket
+	// (exemplar.go). Lazily allocated by the first ObserveExemplar, so
+	// plain histograms pay nothing.
+	ex  [][]Exemplar
+	exK int
 }
 
 // Observe records one value.
@@ -381,6 +387,7 @@ func (r *Registry) mergeOne(full string, om *metric, fam *family) {
 		if om.h.max > m.h.max {
 			m.h.max = om.h.max
 		}
+		m.h.mergeExemplars(om.h)
 	}
 }
 

@@ -82,6 +82,17 @@ type AlertEvent struct {
 	// span names inside the fast burn window (nil when no trace recorder
 	// is attached).
 	Attribution *Attribution `json:"attribution,omitempty"`
+	// Exemplars, on firing transitions, names the subject's worst-offender
+	// jobs (per-job trace IDs with their latencies), so a page carries the
+	// exact jobs to walk with `northup-trace -job`. Empty unless the serve
+	// journey layer is enabled.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// Exemplar ties a firing alert to one worst-offender job.
+type Exemplar struct {
+	TraceID string `json:"trace_id"`
+	ValueNS int64  `json:"value_ns"`
 }
 
 // AddRule registers a rule. Rules are evaluated in registration order at

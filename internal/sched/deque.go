@@ -54,6 +54,20 @@ func (d *Deque[T]) Len() int { return d.n }
 // Empty reports whether the deque holds no tasks.
 func (d *Deque[T]) Empty() bool { return d.n == 0 }
 
+// Snapshot returns the queued tasks oldest-first without removing them.
+// Observability callers use it to record what a newly admitted task is
+// queued behind (the serve journey layer's causal queue-wait edges).
+func (d *Deque[T]) Snapshot() []T {
+	if d.n == 0 {
+		return nil
+	}
+	out := make([]T, d.n)
+	for i := 0; i < d.n; i++ {
+		out[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	return out
+}
+
 func (d *Deque[T]) grow() {
 	bigger := make([]T, len(d.buf)*2)
 	for i := 0; i < d.n; i++ {

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/journey"
 	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/sim"
@@ -403,5 +404,279 @@ func TestEngineStatsInReport(t *testing.T) {
 	}
 	if rep2.Engine.EventsPerSec <= 0 || rep2.Engine.WallMS <= 0 {
 		t.Fatalf("WallStats run missing wall-clock stats: %+v", rep2.Engine)
+	}
+}
+
+// detJourneyScenario enables journeys at full sampling on the determinism
+// workload, leaving everything else (name included) untouched so outputs
+// can be byte-compared against the plain scenario.
+func detJourneyScenario(seed int64) *Scenario {
+	scn := detScenario(seed)
+	scn.Journeys = JourneySpec{Enabled: true}
+	scn.applyDefaults()
+	return scn
+}
+
+// TestJourneysPreserveSchedule is the journey layer's core invariant: a run
+// with journeys on executes the byte-identical job schedule — and report —
+// of a run with them off. Journeys draw no random numbers and charge no
+// virtual time, so the only outputs allowed to differ are the journey
+// artifacts themselves (and the reject counters they gate).
+func TestJourneysPreserveSchedule(t *testing.T) {
+	repOff, _, _, recsOff := detRun(t, detScenario(31), true)
+	repOn, _, _, recsOn := detRun(t, detJourneyScenario(31), true)
+	if !bytes.Equal(repOff, repOn) {
+		t.Fatalf("journeys changed the report:\n--- off ---\n%s\n--- on ---\n%s", repOff, repOn)
+	}
+	if !reflect.DeepEqual(recsOff, recsOn) {
+		t.Fatal("journeys changed the job records")
+	}
+}
+
+// TestJourneyPhaseSumsReconcile holds every journey to the accounting
+// contract: phase totals partition [arrive, done) exactly (PhaseSum ==
+// Latency bit-for-bit), journeys match the job records one-to-one at
+// sample 1.0, and the per-category busy totals across all journeys
+// reproduce the runtime's Breakdown — both sides are fed by the same
+// charge point, so any drift is a bug.
+func TestJourneyPhaseSumsReconcile(t *testing.T) {
+	scn := detJourneyScenario(41)
+	e, err := New(scn, RunOptions{Phantom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	jobs := e.Journeys().Jobs()
+	recs := e.Records()
+	if len(jobs) == 0 || len(jobs) != len(recs) {
+		t.Fatalf("journeys %d, records %d: sample 1.0 must cover every job", len(jobs), len(recs))
+	}
+	for i, j := range jobs {
+		if got, want := j.PhaseSum(), int64(j.Latency()); got != want {
+			t.Fatalf("job %s/%d: PhaseSum %d != Latency %d", j.Tenant, j.ID, got, want)
+		}
+		r := recs[i]
+		if j.Tenant != r.Tenant || j.ID != r.ID ||
+			int64(j.Arrive) != r.ArriveNS || int64(j.Start) != r.StartNS || int64(j.Done) != r.DoneNS {
+			t.Fatalf("journey %d diverges from its record:\njourney %+v\nrecord  %+v", i, j, r)
+		}
+		segs, _ := j.Segments()
+		var segSum int64
+		for _, s := range segs {
+			segSum += s.DurNS
+		}
+		if segSum != int64(j.Latency()) {
+			t.Fatalf("job %s/%d: segments sum %d != latency %d", j.Tenant, j.ID, segSum, j.Latency())
+		}
+	}
+	bd := e.Runtime().Breakdown()
+	for _, cat := range trace.Categories {
+		var sum sim.Time
+		for _, j := range jobs {
+			sum += j.CategoryBusy(cat)
+		}
+		if sum != bd.Busy(cat) {
+			t.Fatalf("category %v: journeys sum %d, runtime breakdown %d", cat, sum, bd.Busy(cat))
+		}
+	}
+}
+
+// TestJourneyAnalyzerByteIdentical extends the determinism promise to every
+// journey artifact: the tail report, the journey export, the Chrome trace
+// (with per-job lanes) and a waterfall re-rendered from the parsed trace
+// are all byte-identical across runs of the same scenario and seed.
+func TestJourneyAnalyzerByteIdentical(t *testing.T) {
+	run := func() (tail, export, chrome, wf []byte) {
+		e, err := New(detJourneyScenario(51), RunOptions{Phantom: true, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		tail = []byte(e.TailReport(0.99).String())
+		export, err = json.Marshal(e.Journeys().Export())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteChromeTrace(&buf, e.TraceEvents(), trace.ChromeExportOptions{
+			NodeLabel:     e.TraceNodeLabel,
+			DroppedEvents: e.TraceDropped(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		chrome = buf.Bytes()
+		if err := trace.ValidateChromeTrace(chrome); err != nil {
+			t.Fatalf("serve trace does not validate: %v", err)
+		}
+		parsed, err := trace.ParseChromeTrace(chrome)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := e.Journeys().Jobs()[0].TraceID
+		s, err := journey.WaterfallFromEvents(parsed.Events, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tail, export, chrome, []byte(s)
+	}
+	t1, e1, c1, w1 := run()
+	t2, e2, c2, w2 := run()
+	if !bytes.Equal(t1, t2) {
+		t.Fatalf("tail reports diverge:\n%s\n%s", t1, t2)
+	}
+	if !bytes.Equal(e1, e2) {
+		t.Fatal("journey exports diverge")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("chrome traces diverge")
+	}
+	if !bytes.Equal(w1, w2) {
+		t.Fatalf("waterfalls diverge:\n%s\n%s", w1, w2)
+	}
+	if len(w1) == 0 || !bytes.Contains(t1, []byte("tail-latency decomposition")) {
+		t.Fatalf("analyzer output is trivially empty:\n%s", t1)
+	}
+}
+
+// TestJourneySamplingDeterministic checks the stride sampler: at sample 0.5
+// every second admission per tenant is journeyed, the selection is
+// reproducible, and — like any sampling rate — the schedule matches the
+// journeys-off run exactly.
+func TestJourneySamplingDeterministic(t *testing.T) {
+	half := func() *Scenario {
+		scn := detScenario(61)
+		scn.Journeys = JourneySpec{Enabled: true, Sample: 0.5}
+		scn.applyDefaults()
+		return scn
+	}
+	e, err := New(half(), RunOptions{Phantom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	jobs := e.Journeys().Jobs()
+	recs := e.Records()
+	if len(jobs) == 0 || len(jobs) >= len(recs) {
+		t.Fatalf("sample 0.5 journeyed %d of %d jobs", len(jobs), len(recs))
+	}
+	for _, j := range jobs {
+		if j.ID%2 != 1 {
+			t.Fatalf("stride 0.5 should select odd tenant-local IDs, got %s/%d", j.Tenant, j.ID)
+		}
+	}
+	_, _, _, base := detRun(t, detScenario(61), true)
+	if !reflect.DeepEqual(recs, base) {
+		t.Fatal("sampling changed the job schedule")
+	}
+	e2, err := New(half(), RunOptions{Phantom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e2.Journeys().Jobs()) != len(jobs) {
+		t.Fatalf("sampled set diverges across runs: %d vs %d", len(e2.Journeys().Jobs()), len(jobs))
+	}
+}
+
+// TestRejectReasonsAndInstants forces all three admission-rejection causes'
+// machinery through a starved tenant: the reason-labelled counter totals
+// must equal the admission-reject instants in the trace stream, and both
+// surfaces appear only because journeys are on.
+func TestRejectReasonsAndInstants(t *testing.T) {
+	scn := &Scenario{
+		Name:    "rej",
+		Seed:    5,
+		Workers: 1,
+		Topology: TopoSpec{
+			Preset:     "apu-ssd",
+			StorageMiB: 256,
+			DRAMMiB:    64,
+		},
+		Tenants: []Tenant{
+			{Name: "r", Rate: 5000, QuotaMiB: 1, MaxJobs: 60, MaxQueue: 2, Mix: []MixEntry{
+				{Workload: WorkloadGEMM, N: 1024},
+				{Workload: WorkloadHotSpot, N: 32, Iters: 2},
+			}},
+		},
+		Journeys: JourneySpec{Enabled: true},
+	}
+	scn.applyDefaults()
+	e, err := New(scn, RunOptions{Phantom: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var counted int64
+	var promBuf bytes.Buffer
+	if err := e.MergedRegistry().WritePrometheus(&promBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, reason := range []string{rejectQuota, rejectBacklog} {
+		marker := `northup_admission_reject_total{reason="` + reason + `",tenant="r"}`
+		if !bytes.Contains(promBuf.Bytes(), []byte(marker)) {
+			t.Fatalf("merged metrics missing %s:\n%s", marker, promBuf.String())
+		}
+	}
+	for _, t2 := range e.tenants {
+		for _, c := range t2.rejReason {
+			counted += c.Value()
+		}
+	}
+	instants := 0
+	for _, ev := range e.TraceEvents() {
+		if ev.Kind == trace.KindInstant && ev.Lane.Track == admissionTrack {
+			instants++
+		}
+	}
+	if counted == 0 || int64(instants) != counted {
+		t.Fatalf("reject accounting: counters %d, trace instants %d", counted, instants)
+	}
+}
+
+// TestFiringAlertsCarryExemplars runs the ops scenario with journeys on:
+// every firing transition must carry at least one latency exemplar, and
+// each exemplar's trace ID must resolve to a recorded journey.
+func TestFiringAlertsCarryExemplars(t *testing.T) {
+	scn := detOpsScenario(17)
+	scn.Journeys = JourneySpec{Enabled: true}
+	scn.applyDefaults()
+	e, err := New(scn, RunOptions{Phantom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for _, ev := range e.AlertEvents() {
+		if ev.State != ops.StateFiring {
+			continue
+		}
+		fired++
+		if len(ev.Exemplars) == 0 {
+			t.Fatalf("firing event %s carries no exemplars", ev.Rule)
+		}
+		for _, x := range ev.Exemplars {
+			j := e.Journeys().Find(x.TraceID)
+			if j == nil {
+				t.Fatalf("exemplar %q does not resolve to a journey", x.TraceID)
+			}
+			if int64(j.Latency()) != x.ValueNS {
+				t.Fatalf("exemplar %q value %d != journey latency %d", x.TraceID, x.ValueNS, j.Latency())
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("scenario fired no alerts")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/journey"
 	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/sched"
@@ -25,6 +26,10 @@ type RunOptions struct {
 	// across runs; the deterministic counts (events, callbacks, procs) are
 	// always reported.
 	WallStats bool
+	// Trace forces the trace recorder on even without the ops plane, so a
+	// run can be exported as a Chrome trace (northup-serve -trace-out).
+	// Tracing is observation only; the schedule is unchanged.
+	Trace bool
 }
 
 // JobRecord is the per-job outcome log, in completion order. Tests use it
@@ -68,6 +73,9 @@ type tenantState struct {
 	vft      float64 // weighted-fair-queueing virtual finish time
 	mixCum   []float64
 	jobSeq   int
+	jnyAcc   float64 // journey sampling stride accumulator (no RNG draws)
+
+	rejReason map[string]*obs.Counter // lazy, keyed by reject reason; journeys only
 
 	arrivals   *obs.Counter
 	admitted   *obs.Counter
@@ -106,6 +114,12 @@ type Engine struct {
 	twatch   map[string]*tenantWatch
 	ruleFast map[string]sim.Time // rule name -> fast window, for attribution
 
+	// Journey recorder (journeys.go), nil unless the scenario enables it.
+	// Everything it feeds — sampling, span mirroring, exemplars, reject
+	// instants — is observation only and gated on jny != nil, so a run with
+	// journeys off is byte-identical to one that never had the layer.
+	jny *journey.Recorder
+
 	idle         []*sim.Latch // parked dispatch workers
 	arrivalsOpen int
 	outstanding  int    // admitted but not yet finished jobs
@@ -140,7 +154,7 @@ func New(scn *Scenario, opts RunOptions) (*Engine, error) {
 	// only — it never alters the schedule — so ops scenarios keep the same
 	// job timeline they would have without it.
 	var rec *trace.Recorder
-	if scn.OpsEnabled() {
+	if scn.OpsEnabled() || opts.Trace {
 		rec = trace.NewRecorder(trace.Options{MaxEvents: scn.Ops.TraceEvents})
 	}
 	rt := core.NewRuntime(eng, tree, core.Options{
@@ -158,6 +172,9 @@ func New(scn *Scenario, opts RunOptions) (*Engine, error) {
 		runReg:   runReg,
 		rec:      rec,
 		ruleFast: map[string]sim.Time{},
+	}
+	if scn.Journeys.Enabled {
+		e.jny = journey.NewRecorder(scn.Seed, scn.Journeys.MaxSegments)
 	}
 	for i := range scn.Tenants {
 		e.tenants = append(e.tenants, e.newTenantState(i, &scn.Tenants[i]))
@@ -355,13 +372,15 @@ func (e *Engine) admit(t *tenantState) {
 	t.arrivals.Inc()
 	mix := t.pickMix()
 	seed := t.rng.Int63()
-	plan, err := planJob(mix, t.quota)
+	plan, reason, err := planJob(mix, t.quota)
 	if err != nil {
 		t.rejQuota.Inc()
+		e.noteReject(t, reason)
 		return
 	}
 	if t.q.Len() >= t.spec.MaxQueue {
 		t.rejBacklog.Inc()
+		e.noteReject(t, rejectBacklog)
 		return
 	}
 	jb := &job{
@@ -374,6 +393,11 @@ func (e *Engine) admit(t *tenantState) {
 	}
 	t.jobSeq++
 	t.admitted.Inc()
+	// Sample before the push so the journey's "behind" edge reflects the
+	// jobs already queued ahead of this one.
+	if e.jny != nil {
+		e.sampleJourney(t, jb)
+	}
 	t.q.PushTail(jb)
 	e.outstanding++
 	e.wakeOne()
@@ -429,11 +453,20 @@ func (e *Engine) dispatch(p *sim.Proc, t *tenantState, jb *job) {
 
 	start := p.Now()
 	t.waitHist.Observe(int64(start - jb.arrive))
+	if jb.jny != nil {
+		jb.jny.Dispatched(start)
+	}
 
 	body := jb.body(e)
 	var hash uint64
 	name := fmt.Sprintf("serve:%s-j%04d-%s", jb.tenant, jb.id, jb.mix.Workload)
 	join := e.rt.Start(name, func(c *core.Ctx) error {
+		// The job runs on its own fresh proc, so attaching the journey as
+		// that proc's span sink mirrors exactly the charges this job incurs
+		// — a pure read of the charge stream, invisible to the schedule.
+		if jb.jny != nil {
+			defer c.AttachSpanSink(jb.jny)()
+		}
 		h, err := body(c)
 		hash = h
 		return err
@@ -442,7 +475,13 @@ func (e *Engine) dispatch(p *sim.Proc, t *tenantState, jb *job) {
 	done := p.Now()
 
 	lat := int64(done - jb.arrive)
-	t.latHist.Observe(lat)
+	if jb.jny != nil {
+		jb.jny.Finish(done, err != nil)
+		e.jny.Complete(jb.jny)
+		t.latHist.ObserveExemplar(lat, jb.jny.TraceID)
+	} else {
+		t.latHist.Observe(lat)
+	}
 	if err != nil {
 		t.jobErrors.Inc()
 	} else {

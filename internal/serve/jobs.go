@@ -11,6 +11,7 @@ import (
 	"repro/internal/apps/oocsort"
 	"repro/internal/core"
 	"repro/internal/gpu"
+	"repro/internal/journey"
 	"repro/internal/sim"
 	"repro/internal/view"
 	"repro/internal/workload"
@@ -24,7 +25,24 @@ type job struct {
 	seed   int64 // input-data seed, drawn from the tenant's arrival RNG
 	arrive sim.Time
 	plan   jobPlan
+	// jny is the job's journey, nil when journeys are off or the job was
+	// not sampled. journey.Job methods are nil-safe where bodies call them.
+	jny *journey.Job
 }
+
+// Admission reject reasons: the label set of
+// northup_admission_reject_total and the suffix of the reject trace
+// instants (journeys.go).
+const (
+	// rejectQuota: the job's resident working set alone exceeds the
+	// tenant quota — no chunking can save it.
+	rejectQuota = "quota"
+	// rejectMinStrip: the resident set fits but not together with even the
+	// minimum strip the workload can chunk down to.
+	rejectMinStrip = "min_strip"
+	// rejectBacklog: the tenant's admission queue is full.
+	rejectBacklog = "backlog"
+)
 
 // jobPlan is the admission-time sizing of a job against its tenant's quota.
 type jobPlan struct {
@@ -49,8 +67,10 @@ func (jb *job) name(part string) string {
 // divide-and-conquer chunking adapts to the quota exactly like the paper's
 // runtime adapts to a level's capacity — a smaller quota means thinner
 // strips, not failure — until even the minimum strip no longer fits, at
-// which point the job is rejected.
-func planJob(m MixEntry, quota int64) (jobPlan, error) {
+// which point the job is rejected. On rejection the returned reason
+// distinguishes a resident set that can never fit (rejectQuota) from a
+// minimum strip that does not fit beside it (rejectMinStrip).
+func planJob(m MixEntry, quota int64) (jobPlan, string, error) {
 	n64 := int64(m.N)
 	switch m.Workload {
 	case WorkloadGEMM:
@@ -59,14 +79,18 @@ func planJob(m MixEntry, quota int64) (jobPlan, error) {
 		stripCost := 2 * 4 * n64 // bytes per strip row (one A row + one C row)
 		s := chunkRows(quota-resident, stripCost, m.N, gemm.TileDim)
 		if s < gemm.TileDim {
-			return jobPlan{}, fmt.Errorf("gemm n=%d needs %d B for its minimum working set", m.N,
+			reason := rejectMinStrip
+			if resident > quota {
+				reason = rejectQuota
+			}
+			return jobPlan{}, reason, fmt.Errorf("gemm n=%d needs %d B for its minimum working set", m.N,
 				resident+int64(gemm.TileDim)*stripCost)
 		}
 		return jobPlan{
 			Footprint: resident + int64(s)*stripCost,
 			WorkBytes: 3 * 4 * n64 * n64,
 			Strip:     s,
-		}, nil
+		}, "", nil
 	case WorkloadSpMV:
 		// x and y stay resident; CSR row chunks stream through. Sizing uses
 		// the uniform expectation avgNNZ per row, which the serve generator
@@ -75,41 +99,45 @@ func planJob(m MixEntry, quota int64) (jobPlan, error) {
 		rowCost := int64(spmvAvgNNZ) * 8 // 4 B column index + 4 B value
 		c := chunkRows(quota-resident, rowCost, m.N, 1)
 		if c < 1 {
-			return jobPlan{}, fmt.Errorf("spmv n=%d needs %d B for its minimum working set", m.N,
+			reason := rejectMinStrip
+			if resident > quota {
+				reason = rejectQuota
+			}
+			return jobPlan{}, reason, fmt.Errorf("spmv n=%d needs %d B for its minimum working set", m.N,
 				resident+rowCost)
 		}
 		return jobPlan{
 			Footprint: resident + int64(c)*rowCost,
 			WorkBytes: resident + n64*rowCost,
 			Strip:     c,
-		}, nil
+		}, "", nil
 	case WorkloadHotSpot:
 		// Double-buffered temperature band plus its power band.
 		bandCost := 3 * 4 * n64 // bytes per band row (temp in, temp out, power)
 		c := chunkRows(quota, bandCost, m.N, hotspot.BlockDim)
 		if c < hotspot.BlockDim {
-			return jobPlan{}, fmt.Errorf("hotspot n=%d needs %d B for its minimum working set", m.N,
+			return jobPlan{}, rejectMinStrip, fmt.Errorf("hotspot n=%d needs %d B for its minimum working set", m.N,
 				int64(hotspot.BlockDim)*bandCost)
 		}
 		return jobPlan{
 			Footprint: int64(c) * bandCost,
 			WorkBytes: int64(m.Iters)*2*4*n64*n64 + 4*n64*n64,
 			Strip:     c,
-		}, nil
+		}, "", nil
 	case WorkloadSort:
 		// One in-place run at a time (the sorted-runs pass of the paper's
 		// out-of-core sort).
 		c := chunkRows(quota, 4, m.N, 1)
 		if c < 1 {
-			return jobPlan{}, fmt.Errorf("sort n=%d needs at least 4 B of quota", m.N)
+			return jobPlan{}, rejectMinStrip, fmt.Errorf("sort n=%d needs at least 4 B of quota", m.N)
 		}
 		return jobPlan{
 			Footprint: int64(c) * 4,
 			WorkBytes: 2 * 4 * n64,
 			Strip:     c,
-		}, nil
+		}, "", nil
 	default:
-		return jobPlan{}, fmt.Errorf("unknown workload %q", m.Workload)
+		return jobPlan{}, rejectQuota, fmt.Errorf("unknown workload %q", m.Workload)
 	}
 }
 
@@ -230,7 +258,10 @@ func (jb *job) gemmBody(e *Engine) func(*core.Ctx) (uint64, error) {
 					}); err != nil {
 						return err
 					}
-					return c.MoveDataUp(fC, bC, stripOff, 0, stripBytes)
+					jb.jny.Mark(journey.PhaseMerge)
+					uerr := c.MoveDataUp(fC, bC, stripOff, 0, stripBytes)
+					jb.jny.Mark("")
+					return uerr
 				}()
 				c.Release(bC)
 				c.Release(bA)
@@ -337,7 +368,10 @@ func (jb *job) spmvBody(e *Engine) func(*core.Ctx) (uint64, error) {
 					return err
 				}
 			}
-			return c.MoveDataUp(fY, bY, 0, 0, vecBytes)
+			jb.jny.Mark(journey.PhaseMerge)
+			uerr := c.MoveDataUp(fY, bY, 0, 0, vecBytes)
+			jb.jny.Mark("")
+			return uerr
 		}()
 		if err != nil {
 			return 0, err
@@ -410,7 +444,10 @@ func (jb *job) hotspotBody(e *Engine) func(*core.Ctx) (uint64, error) {
 						}); err != nil {
 							return err
 						}
-						return c.MoveDataUp(fT, bOut, bandOff, 0, bandBytes)
+						jb.jny.Mark(journey.PhaseMerge)
+						uerr := c.MoveDataUp(fT, bOut, bandOff, 0, bandBytes)
+						jb.jny.Mark("")
+						return uerr
 					}()
 					c.Release(bPow)
 					c.Release(bOut)
@@ -524,7 +561,10 @@ func (jb *job) sortBody(e *Engine) func(*core.Ctx) (uint64, error) {
 					}); err != nil {
 						return err
 					}
-					return c.MoveDataUp(fOut, b, chunkOff, 0, chunkBytes)
+					jb.jny.Mark(journey.PhaseMerge)
+					uerr := c.MoveDataUp(fOut, b, chunkOff, 0, chunkBytes)
+					jb.jny.Mark("")
+					return uerr
 				}()
 				c.Release(b)
 				if err != nil {

@@ -212,6 +212,19 @@ func (e *Engine) attributeFire(ev *ops.AlertEvent) {
 		start = 0
 	}
 	ev.Attribution = ops.Attribute(e.rec.Events(), start, end, e.scn.Ops.TopK)
+	if e.jny != nil {
+		// With journeys on, carry the subject tenant's worst latency
+		// exemplars so a page links straight to concrete job waterfalls.
+		for _, t := range e.tenants {
+			if t.spec.Name != ev.Subject {
+				continue
+			}
+			for _, x := range t.latHist.TopExemplars(e.scn.Ops.TopK) {
+				ev.Exemplars = append(ev.Exemplars, ops.Exemplar{TraceID: x.TraceID, ValueNS: x.Value})
+			}
+			break
+		}
+	}
 }
 
 // armOpsTicks schedules the plane's evaluation chain on the engine's
@@ -252,13 +265,4 @@ func (e *Engine) WindowSeries() []obs.Series {
 		return nil
 	}
 	return e.plane.Series()
-}
-
-// TraceEvents returns the trace recorder's event stream (nil when tracing
-// is off, i.e. the ops plane is disabled).
-func (e *Engine) TraceEvents() []trace.Event {
-	if e.rec == nil {
-		return nil
-	}
-	return e.rec.Events()
 }

@@ -290,6 +290,11 @@ func scenarioFromTree(tree any) (*Scenario, error) {
 			return nil, err
 		}
 	}
+	if jv, ok := f.get("journeys"); ok {
+		if scn.Journeys, err = journeysFromTree(jv); err != nil {
+			return nil, err
+		}
+	}
 	alerts, ok, err := f.list("alerts")
 	if err != nil {
 		return nil, err
@@ -339,6 +344,29 @@ func opsFromTree(v any) (OpsSpec, error) {
 	}
 	if spec.Enabled, _, err = f.boolField("enabled"); err != nil {
 		return spec, err
+	}
+	return spec, f.finish()
+}
+
+func journeysFromTree(v any) (JourneySpec, error) {
+	var spec JourneySpec
+	f, err := asFields("journeys", v)
+	if err != nil {
+		return spec, err
+	}
+	if spec.Enabled, _, err = f.boolField("enabled"); err != nil {
+		return spec, err
+	}
+	if spec.Sample, _, err = f.floatField("sample"); err != nil {
+		return spec, err
+	}
+	if n, ok, err := f.intField("max_segments"); err != nil {
+		return spec, err
+	} else if ok {
+		if n < 0 || n > math.MaxInt32 {
+			return spec, fmt.Errorf("serve: journeys.max_segments: %d out of range", n)
+		}
+		spec.MaxSegments = int(n)
 	}
 	return spec, f.finish()
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/journey"
 	"repro/internal/sim"
 )
 
@@ -351,6 +352,81 @@ func TestParseOpsAndAlertErrors(t *testing.T) {
 			}
 			if !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+const journeysYAML = `
+name: jny
+seed: 3
+workers: 1
+topology:
+  preset: apu-ssd
+  storage_mib: 64
+  dram_mib: 16
+tenants:
+  - name: a
+    rate: 10/s
+    quota_mib: 4
+    max_jobs: 3
+    mix:
+      - workload: sort
+        n: 1000
+journeys:
+  enabled: true
+  sample: 0.25
+  max_segments: 64
+`
+
+// TestParseJourneys covers the journeys block: parsed values, defaults when
+// fields are omitted, and the strict-parser/validation rejections.
+func TestParseJourneys(t *testing.T) {
+	scn, err := ParseScenario([]byte(journeysYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scn.JourneysEnabled() || scn.Journeys.Sample != 0.25 || scn.Journeys.MaxSegments != 64 {
+		t.Fatalf("journeys spec = %+v", scn.Journeys)
+	}
+
+	// Omitting sample and max_segments picks full sampling and the default
+	// segment cap once defaults are applied.
+	bare := strings.Replace(journeysYAML, "  sample: 0.25\n  max_segments: 64\n", "", 1)
+	scn, err = ParseScenario([]byte(bare))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.Journeys.Sample != 1.0 || scn.Journeys.MaxSegments != journey.DefaultMaxSegments {
+		t.Fatalf("journeys defaults = %+v", scn.Journeys)
+	}
+
+	// Without the block, the layer stays off entirely.
+	off := strings.Replace(journeysYAML, "journeys:\n  enabled: true\n  sample: 0.25\n  max_segments: 64\n", "", 1)
+	if scn, err = ParseScenario([]byte(off)); err != nil {
+		t.Fatal(err)
+	}
+	if scn.JourneysEnabled() {
+		t.Fatalf("journeys enabled without a block: %+v", scn.Journeys)
+	}
+
+	cases := []struct {
+		name, old, new, want string
+	}{
+		{"unknown key", "max_segments: 64", "max_segments: 64\n  color: red", `unknown key "color"`},
+		{"sample above 1", "sample: 0.25", "sample: 1.5", "must lie in (0, 1]"},
+		{"negative sample", "sample: 0.25", "sample: -0.5", "must lie in (0, 1]"},
+		{"bad max_segments", "max_segments: 64", "max_segments: -3", "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := strings.Replace(journeysYAML, tc.old, tc.new, 1)
+			if in == journeysYAML {
+				t.Fatalf("mutation %q did not apply", tc.old)
+			}
+			_, err := ParseScenario([]byte(in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v does not mention %q", err, tc.want)
 			}
 		})
 	}

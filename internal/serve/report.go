@@ -102,7 +102,7 @@ func (e *Engine) buildReport() *Report {
 	for _, rec := range e.records {
 		if rec.Err == "" {
 			// Work accounting uses the planned WFQ bytes of finished jobs.
-			plan, err := planJob(MixEntry{Workload: rec.Workload, N: rec.N, Iters: itersOf(e.scn, rec)}, quotaOf(e.scn, rec.Tenant))
+			plan, _, err := planJob(MixEntry{Workload: rec.Workload, N: rec.N, Iters: itersOf(e.scn, rec)}, quotaOf(e.scn, rec.Tenant))
 			if err == nil {
 				rep.TotalBytes += plan.WorkBytes
 			}

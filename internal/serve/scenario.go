@@ -27,6 +27,7 @@ import (
 	"repro/internal/apps/gemm"
 	"repro/internal/apps/hotspot"
 	"repro/internal/device"
+	"repro/internal/journey"
 	"repro/internal/sim"
 )
 
@@ -148,6 +149,25 @@ type OpsSpec struct {
 	Enabled bool
 }
 
+// JourneySpec configures the per-job journey layer (internal/journey):
+// trace IDs, phase waterfalls, latency-histogram exemplars, and the
+// tail-latency analyzer's input. Journeys are observation only — enabling
+// them never changes the job schedule — but they do add outputs (exemplar
+// annotations, reject-reason counters/instants), so they default off to
+// keep existing scenarios' artifacts byte-identical.
+type JourneySpec struct {
+	// Enabled turns the journey layer on.
+	Enabled bool
+	// Sample is the fraction of admitted jobs that record a journey,
+	// applied as a deterministic per-tenant stride (no RNG draws, so the
+	// schedule is untouched). Defaults to 1.0 when enabled; must lie in
+	// (0, 1].
+	Sample float64
+	// MaxSegments caps each job's waterfall segment list (default 512).
+	// Phase totals stay exact past the cap.
+	MaxSegments int
+}
+
 // AlertRule is one declarative burn-rate alert in the DSL: fire when the
 // selected metric exceeds the threshold over both the fast and the slow
 // trailing window (multiwindow burn-rate alerting).
@@ -190,12 +210,18 @@ type Scenario struct {
 	// Alerts are the scenario's burn-rate alert rules. A non-empty list
 	// enables the ops plane and the trace recorder behind it.
 	Alerts []AlertRule
+	// Journeys configures the per-job journey layer (trace IDs, phase
+	// waterfalls, exemplars, tail analysis).
+	Journeys JourneySpec
 }
 
 // OpsEnabled reports whether this scenario runs the live operations plane.
 func (s *Scenario) OpsEnabled() bool {
 	return s.Ops.Enabled || len(s.Alerts) > 0
 }
+
+// JourneysEnabled reports whether this scenario records per-job journeys.
+func (s *Scenario) JourneysEnabled() bool { return s.Journeys.Enabled }
 
 // applyDefaults fills zero-valued optional fields in place.
 func (s *Scenario) applyDefaults() {
@@ -220,6 +246,14 @@ func (s *Scenario) applyDefaults() {
 		}
 		if s.Ops.TopK == 0 {
 			s.Ops.TopK = 3
+		}
+	}
+	if s.Journeys.Enabled {
+		if s.Journeys.Sample == 0 {
+			s.Journeys.Sample = 1.0
+		}
+		if s.Journeys.MaxSegments == 0 {
+			s.Journeys.MaxSegments = journey.DefaultMaxSegments
 		}
 	}
 	for i := range s.Alerts {
@@ -336,6 +370,14 @@ func (s *Scenario) Validate() error {
 	}
 	if s.OpsEnabled() && s.Ops.Step > 0 && s.Ops.Window > 0 && s.Ops.Window < s.Ops.Step {
 		return fmt.Errorf("serve: ops window %v shorter than step %v", s.Ops.Window, s.Ops.Step)
+	}
+	if s.Journeys.Enabled {
+		if s.Journeys.Sample <= 0 || s.Journeys.Sample > 1 {
+			return fmt.Errorf("serve: journeys sample %g must lie in (0, 1]", s.Journeys.Sample)
+		}
+		if s.Journeys.MaxSegments < 0 {
+			return fmt.Errorf("serve: journeys max_segments must be non-negative")
+		}
 	}
 	ruleSeen := map[string]bool{}
 	for i := range s.Alerts {
