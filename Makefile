@@ -7,9 +7,11 @@
 #   make tail-demo    per-job journey smoke: tail analyzer + exemplars +
 #                     journey-lane trace validation on the burn-rate workload
 #   make bench-json   benchmark artifacts -> BENCH_cache.json,
-#                     BENCH_stream.json, BENCH_serve.json, BENCH_perf.json
+#                     BENCH_stream.json, BENCH_serve.json,
+#                     BENCH_affinity.json, BENCH_perf.json
 #   make bench-stream streamed-transfer overlap sweep -> BENCH_stream.json
 #   make bench-serve  multi-tenant saturation sweep -> BENCH_serve.json
+#   make bench-affinity  data-affinity scheduler A/B -> BENCH_affinity.json
 #   make bench-sim    DES-engine dispatch microbenchmarks (ns/event + allocs)
 #   make bench-check  perf-regression gate: re-run the perf suite (race
 #                     detector on) and diff against the committed BENCH_perf.json
@@ -17,7 +19,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race lint check strict bench bench-json bench-stream bench-serve bench-sim bench-check trace-demo serve-demo ops-demo tail-demo clean
+.PHONY: all build test vet race lint check strict bench bench-json bench-stream bench-serve bench-affinity bench-sim bench-check trace-demo serve-demo ops-demo tail-demo clean
 
 all: check strict bench-json
 
@@ -122,7 +124,7 @@ bench:
 # ablation run, the streamed-transfer overlap sweep, and the paper-scale
 # perf baseline the regression gate diffs against. All are committed;
 # regenerate after intentional model changes.
-bench-json: bench-stream bench-serve
+bench-json: bench-stream bench-serve bench-affinity
 	$(GO) run ./cmd/northup-bench -fig cache -format json > BENCH_cache.json
 	$(GO) test -bench=BenchmarkAblationShardCache -benchtime=1x -run=^$$ .
 	$(GO) run ./cmd/northup-bench -baseline BENCH_perf.json
@@ -136,6 +138,12 @@ bench-stream:
 # and worst-tenant latency percentiles across rate multipliers.
 bench-serve:
 	$(GO) run ./cmd/northup-bench -fig serve -format json > BENCH_serve.json
+
+# Data-affinity scheduler A/B: GEMM and SpMV task graphs under locality-blind
+# stealing vs residency-aware placement, with the per-app moved-bytes
+# reduction the ablation claims.
+bench-affinity:
+	$(GO) run ./cmd/northup-bench -fig affinity -format json > BENCH_affinity.json
 
 # DES-engine microbenchmarks: per-event cost of both dispatch paths (proc
 # resumption vs inline callback vs same-instant fan-out) with allocation
@@ -152,4 +160,4 @@ bench-check:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_cache.json BENCH_stream.json BENCH_serve.json trace-demo.json serve-demo-a.json serve-demo-b.json ops-demo-serve ops-demo-alerts.json tail-demo-serve tail-demo-trace tail-demo.trace.json tail-demo-alerts.json tail-demo-tail.txt
+	rm -f BENCH_cache.json BENCH_stream.json BENCH_serve.json BENCH_affinity.json trace-demo.json serve-demo-a.json serve-demo-b.json ops-demo-serve ops-demo-alerts.json tail-demo-serve tail-demo-trace tail-demo.trace.json tail-demo-alerts.json tail-demo-tail.txt

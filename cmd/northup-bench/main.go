@@ -2,8 +2,8 @@
 //
 // Usage:
 //
-//	northup-bench [-fig 6|7|8|8disk|9|11|overhead|cache|stream|serve|perf|all] [-scale 1|2|4|8]
-//	              [-format table|csv|json]
+//	northup-bench [-fig 6|7|8|8disk|9|11|overhead|cache|affinity|stream|serve|perf|all] [-scale 1|2|4|8]
+//	              [-format table|csv|json] [-affinity on|off]
 //	northup-bench -baseline BENCH_perf.json [-scale 1|2|4|8]
 //	northup-bench -check BENCH_perf.json
 //
@@ -14,6 +14,11 @@
 // (timing-only) mode at the paper's input sizes and prints the rows/series
 // the corresponding figure plots. -scale shrinks every dimension coherently
 // for quick looks.
+//
+// -affinity off skips the data-affinity scheduler ablation and omits the
+// affinity entry from the perf suite, so a baseline comparable to
+// pre-scheduler documents can still be produced; the default (on) includes
+// both.
 //
 // -baseline runs the perf suite (GEMM, HotSpot, SpMV out-of-core on the SSD
 // tree with the metrics registry attached) and writes the profile to the
@@ -35,11 +40,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 8disk, 9, 11, overhead, cache, stream, serve, perf, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 8disk, 9, 11, overhead, cache, affinity, stream, serve, perf, all")
 	scale := flag.Int("scale", 1, "divide the paper's input dimensions (1, 2, 4, 8)")
 	format := flag.String("format", "table", "output format: table, csv, or json")
 	baseline := flag.String("baseline", "", "run the perf suite and write the baseline profile to this file")
 	check := flag.String("check", "", "re-run the perf suite and diff against this baseline; exit 1 on regression")
+	affinity := flag.String("affinity", "on", "include the data-affinity scheduler figure and perf-suite entry: on or off")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
@@ -52,7 +58,11 @@ func main() {
 		os.Exit(code)
 	}
 
-	o := figures.Options{Scale: *scale}
+	if *affinity != "on" && *affinity != "off" {
+		fmt.Fprintf(os.Stderr, "northup-bench: -affinity %q: want on or off\n", *affinity)
+		exit(2)
+	}
+	o := figures.Options{Scale: *scale, NoAffinity: *affinity == "off"}
 
 	if *baseline != "" {
 		writeBaseline(*baseline, o, exit)
@@ -88,9 +98,9 @@ func main() {
 
 	known := map[string]bool{"all": true, "6": true, "7": true, "8": true,
 		"8disk": true, "9": true, "11": true, "overhead": true, "cache": true,
-		"stream": true, "serve": true, "perf": true}
+		"affinity": true, "stream": true, "serve": true, "perf": true}
 	if !known[*fig] {
-		fmt.Fprintf(os.Stderr, "northup-bench: unknown figure %q (want 6, 7, 8, 8disk, 9, 11, overhead, cache, stream, serve, perf, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "northup-bench: unknown figure %q (want 6, 7, 8, 8disk, 9, 11, overhead, cache, affinity, stream, serve, perf, all)\n", *fig)
 		exit(2)
 	}
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -118,6 +128,12 @@ func main() {
 	}
 	if want("cache") {
 		run("staging-cache ablation", func() (figures.Renderer, error) { return figures.CacheAblation(o) })
+	}
+	if want("affinity") && !o.NoAffinity {
+		run("data-affinity scheduler ablation", func() (figures.Renderer, error) { return figures.AffinityAblation(o) })
+	} else if *fig == "affinity" {
+		fmt.Fprintln(os.Stderr, "northup-bench: -fig affinity conflicts with -affinity off")
+		exit(2)
 	}
 	if want("stream") {
 		run("streamed-transfer overlap", func() (figures.Renderer, error) { return figures.StreamOverlap(o) })

@@ -5,7 +5,7 @@
 //
 //	northup-run -app gemm|hotspot|spmv [-preset apu|apu-hdd|discrete|nvm|inmemory]
 //	            [-spec file.json] [-n N] [-chunk D] [-iters K] [-phantom]
-//	            [-streamed] [-subchunks S]
+//	            [-streamed] [-subchunks S] [-affinity on|off]
 //	            [-faults seed=N,rate=P,...] [-retries K]
 //	            [-cache] [-cache-mib M] [-cache-share F] [-prefetch]
 //	            [-trace-out trace.json] [-trace-events N] [-metrics]
@@ -35,6 +35,14 @@
 // With -faults the run injects deterministic transfer/allocation faults and
 // outages (see northup.ParseFaults for the full syntax); the runtime absorbs
 // them with retries and failover, and the report gains resilience counters.
+//
+// With -affinity on the gemm and spmv runs route through the extent-declared
+// task-graph scheduler with residency-aware placement: shards become tasks
+// that declare the byte ranges they read and write, and each ready task goes
+// to the worker whose estimated compute-plus-move cost is lowest, with
+// cache-resident input bytes scoring zero. The report gains a scheduler line
+// (placements, affinity picks, bytes served from residency). The default
+// (off) keeps the legacy recursive path untouched.
 //
 // With -streamed the gemm and hotspot staging moves route through the
 // streaming transfer engine: each multi-hop move is split into sub-chunks
@@ -68,6 +76,8 @@ func main() {
 	avgNNZ := flag.Int("nnz", 16, "average non-zeros per row (spmv)")
 	phantom := flag.Bool("phantom", false, "timing-only mode (no payloads; paper-scale capable)")
 	streamed := flag.Bool("streamed", false, "route gemm/hotspot staging moves through the streaming transfer engine")
+	affinity := flag.String("affinity", "off",
+		"gemm/spmv task-graph scheduling: off (legacy recursive path) or on (extent-declared tasks, residency-aware placement)")
 	subchunks := flag.Int("subchunks", 0, "streamed sub-chunks per move (0 = adaptive sizer)")
 	storageMiB := flag.Int64("storage-mib", 1024, "preset storage capacity")
 	dramMiB := flag.Int64("dram-mib", 16, "preset staging capacity")
@@ -86,6 +96,14 @@ func main() {
 	sampleTickMS := flag.Int64("sample-tick-ms", 0, "sample gauges every T virtual milliseconds into the JSON export (0 = off)")
 	engStats := flag.Bool("stats", false, "print simulation-engine dispatch stats (events, inline callbacks, procs, events/sec)")
 	flag.Parse()
+
+	if *affinity != "on" && *affinity != "off" {
+		fatal(fmt.Errorf("-affinity %q: want on or off", *affinity))
+	}
+	affinityOn := *affinity == "on"
+	if affinityOn && *app == "hotspot" {
+		fatal(fmt.Errorf("-affinity on supports gemm and spmv (hotspot has the -steal and profiled paths)"))
+	}
 
 	e := northup.NewEngine()
 	tree, err := buildTree(e, *preset, *specPath, *storageMiB, *dramMiB)
@@ -138,6 +156,18 @@ func main() {
 	switch *app {
 	case "gemm":
 		var res *northup.GEMMResult
+		if affinityOn {
+			var ts *northup.TaskStats
+			res, ts, err = northup.GEMMTasks(rt, northup.GEMMConfig{N: *n, Seed: 1, ShardDim: *chunk},
+				northup.TaskOptions{Affinity: true})
+			if err != nil {
+				fatal(err)
+			}
+			stats = res.Stats
+			fmt.Printf("gemm: N=%d shard=%d (task graph)\n", *n, res.ShardDim)
+			printTaskStats(ts)
+			break
+		}
 		if *preset == "inmemory" && *specPath == "" {
 			res, err = northup.GEMMInMemory(rt, northup.GEMMConfig{N: *n, Seed: 1})
 		} else {
@@ -182,6 +212,17 @@ func main() {
 	case "spmv":
 		cfg := northup.SpMVConfig{N: *n, AvgNNZ: *avgNNZ, Kind: northup.SparseUniform, Seed: 1}
 		var res *northup.SpMVResult
+		if affinityOn {
+			var ts *northup.TaskStats
+			res, ts, err = northup.SpMVTasks(rt, cfg, northup.TaskOptions{Affinity: true})
+			if err != nil {
+				fatal(err)
+			}
+			stats = res.Stats
+			fmt.Printf("spmv: rows=%d nnz/row~%d (task graph)\n", *n, *avgNNZ)
+			printTaskStats(ts)
+			break
+		}
 		if *preset == "inmemory" && *specPath == "" {
 			res, err = northup.SpMVInMemory(rt, cfg)
 		} else {
@@ -252,6 +293,12 @@ func main() {
 		fmt.Printf("engine: %d events (%d inline callbacks), %d procs, %.0f events/sec\n",
 			st.Events, st.Callbacks, st.Procs, st.EventsPerSec())
 	}
+}
+
+// printTaskStats reports one task-graph run's scheduling decisions.
+func printTaskStats(ts *northup.TaskStats) {
+	fmt.Printf("scheduler: %d tasks, %d affinity picks, %d pops, %d steals, %d bytes served from residency\n",
+		ts.Tasks, ts.AffinityPicks, ts.Pops, ts.Steals, ts.SavedBytes)
 }
 
 // writeFileWith creates path and streams render into it.

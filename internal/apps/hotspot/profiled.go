@@ -20,14 +20,29 @@ type ProfiledResult struct {
 	Result
 	// ChunksOnGPU and ChunksOnCPU count the placement decisions.
 	ChunksOnGPU, ChunksOnCPU int
+	// Profile is the scheduler state learned during the run. Export it
+	// (sched.ProfileScheduler.ExportJSON) to warm-start a later run via
+	// RunProfiledWarm, skipping the exploration phase.
+	Profile *sched.ProfileScheduler
 }
 
 // RunProfiled executes the out-of-core stencil with profile-guided chunk
-// placement between the leaf CPU and GPU. The tree must have both attached
-// (the APU WithCPU topology).
+// placement between the leaf CPU and GPU, starting from a cold profile. The
+// tree must have both attached (the APU WithCPU topology).
 func RunProfiled(rt *core.Runtime, cfg Config) (*ProfiledResult, error) {
-	res := &ProfiledResult{}
-	profiler := sched.NewProfileScheduler()
+	return RunProfiledWarm(rt, cfg, nil)
+}
+
+// RunProfiledWarm is RunProfiled seeded with a prior run's learned profile
+// (nil means cold start). A warm profile that already holds enough samples
+// skips the exploration phase entirely, so the first chunks land on the
+// predicted-fastest processor instead of sampling both.
+func RunProfiledWarm(rt *core.Runtime, cfg Config, warm *sched.ProfileScheduler) (*ProfiledResult, error) {
+	profiler := warm
+	if profiler == nil {
+		profiler = sched.NewProfileScheduler()
+	}
+	res := &ProfiledResult{Profile: profiler}
 	// Profile-guided mapping and tracing share one observation path: each
 	// chunk runs as a task span named after its processor, and the profiler
 	// learns from span completions instead of ad-hoc timing calls. The

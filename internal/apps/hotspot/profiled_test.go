@@ -3,6 +3,7 @@ package hotspot
 import (
 	"testing"
 
+	"repro/internal/sched"
 	"repro/internal/workload"
 )
 
@@ -45,6 +46,39 @@ func TestProfiledConvergesToGPU(t *testing.T) {
 	}
 	if res.ChunksOnGPU < 12 {
 		t.Fatalf("only %d chunks reached the GPU", res.ChunksOnGPU)
+	}
+}
+
+func TestProfiledWarmStartSkipsExploration(t *testing.T) {
+	// A profile exported from one run and imported into the next carries
+	// enough samples that the warm run never explores: every chunk goes
+	// straight to the processor the prior run learned was faster.
+	cfg := Config{N: 1024, ChunkDim: 256, Iters: 8}
+	cold, err := RunProfiled(newStealRuntime(true, true), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.ChunksOnCPU == 0 {
+		t.Fatal("cold run never explored the CPU")
+	}
+	data, err := cold.Profile.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := sched.NewProfileScheduler()
+	if err := warm.ImportJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunProfiledWarm(newStealRuntime(true, true), cfg, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChunksOnCPU != 0 {
+		t.Fatalf("warm run still sent %d chunks to the CPU", res.ChunksOnCPU)
+	}
+	if res.ChunksOnGPU != cold.ChunksOnGPU+cold.ChunksOnCPU {
+		t.Fatalf("warm run placed %d chunks, want %d", res.ChunksOnGPU,
+			cold.ChunksOnGPU+cold.ChunksOnCPU)
 	}
 }
 

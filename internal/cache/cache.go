@@ -118,6 +118,11 @@ func (p *Pool) Get(k Key) *Entry {
 	return e
 }
 
+// Peek returns the entry caching k without touching the LRU order — the
+// read-only residency probe affinity scoring uses, so ranking candidate
+// placements can never perturb which entry a real fetch would evict.
+func (p *Pool) Peek(k Key) *Entry { return p.entries[k] }
+
 // StartFetch reserves an in-flight entry for k, carrying pending as the
 // completion signal for concurrent readers. The reservation counts against
 // capacity immediately so parallel fetches cannot oversubscribe the pool;

@@ -369,6 +369,26 @@ func (rt *Runtime) Unpin(p *sim.Proc, b *Buffer) error {
 	return rt.Release(p, b)
 }
 
+// CacheResidentBytes reports how many of the n bytes of src at srcOff are
+// already staged (ready, pinned, or in flight — an in-flight fetch lands
+// before a newly placed task would read it) in node's cache. The probe is
+// side-effect free: it never bumps LRU order, charges no time, and is safe
+// to call while ranking candidate placements. Extents are matched exactly,
+// mirroring the cache's own lookup, so the answer is n or 0.
+func (rt *Runtime) CacheResidentBytes(node *topo.Node, src *Buffer, srcOff, n int64) int64 {
+	if src == nil || src.released || n <= 0 {
+		return 0
+	}
+	nc := rt.caches[node.ID]
+	if nc == nil {
+		return 0
+	}
+	if nc.pool.Peek(cache.Key{Src: src.id, Off: srcOff, Len: n}) != nil {
+		return n
+	}
+	return 0
+}
+
 // invalidateRange drops every cache entry whose source extent overlaps the
 // written range [off, off+n) of dst; the write paths call it so cached
 // reads can never observe stale bytes. Pinned and in-flight entries are

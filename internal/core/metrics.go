@@ -45,6 +45,10 @@ const (
 	mStreamInflight  = "northup_stream_inflight"
 	mStreamRing      = "northup_stream_ring_occupancy"
 	mStreamHopBW     = "northup_stream_hop_bw"
+
+	mSchedSavedBytes = "northup_sched_moved_bytes_saved_total"
+	mSchedPlacements = "northup_sched_placements_total"
+	mSchedTasks      = "northup_sched_tasks_total"
 )
 
 // spanNSBuckets are the fixed span-duration histogram bounds in
@@ -101,6 +105,13 @@ type runtimeMetrics struct {
 	queuePops   *obs.Counter
 	queueSteal  *obs.Counter
 
+	// Task-graph placement instruments (internal/taskgraph): per-policy
+	// decision counts, the task total, and the per-node bytes affinity
+	// placement avoided re-fetching (lazy, like movedBytes).
+	schedPlace map[string]*obs.Counter
+	schedSaved map[int]*obs.Counter
+	schedTasks *obs.Counter
+
 	traceDropped *obs.Gauge
 	elapsed      *obs.Gauge
 }
@@ -120,6 +131,8 @@ func newRuntimeMetrics(rt *Runtime, reg *obs.Registry, sampler *obs.Sampler) *ru
 		legacySlots: map[int]*QueueDepthSlot{},
 		streamRing:  map[int]*obs.Gauge{},
 		streamHopBW: map[int]*obs.Gauge{},
+		schedPlace:  map[string]*obs.Counter{},
+		schedSaved:  map[int]*obs.Counter{},
 	}
 	for _, c := range trace.Categories {
 		lbl := obs.L("cat", c.String())
@@ -157,6 +170,7 @@ func newRuntimeMetrics(rt *Runtime, reg *obs.Registry, sampler *obs.Sampler) *ru
 
 	m.queuePops = reg.Counter(mQueuePops, "local deque pops across leaf schedulers")
 	m.queueSteal = reg.Counter(mQueueSteals, "work-steal operations across leaf schedulers")
+	m.schedTasks = reg.Counter(mSchedTasks, "tasks placed by the task-graph scheduler")
 
 	m.streamMoves = reg.Counter(mStreamMoves, "streamed moves issued")
 	m.streamSubChunks = reg.Counter(mStreamSubChunks, "sub-chunks across all streamed moves")
@@ -376,6 +390,33 @@ func (rt *Runtime) NoteQueueDepth(node int, depth int64) {
 		rt.met.legacySlots[node] = s
 	}
 	s.Set(depth)
+}
+
+// NoteSchedPlacement records one task-graph placement decision: policy is
+// how the task reached its worker ("queue", "steal", "affinity"), node is
+// the staging node the scheduler placed against, and savedBytes is how many
+// input bytes the decision found already resident (so no edge crossing was
+// needed). No-op without metrics.
+func (rt *Runtime) NoteSchedPlacement(policy string, node int, savedBytes int64) {
+	if rt.met == nil {
+		return
+	}
+	m := rt.met
+	m.schedTasks.Inc()
+	c, ok := m.schedPlace[policy]
+	if !ok {
+		c = m.reg.Counter(mSchedPlacements, "task placements per decision policy", obs.L("policy", policy))
+		m.schedPlace[policy] = c
+	}
+	c.Inc()
+	if savedBytes > 0 && node >= 0 {
+		s, ok := m.schedSaved[node]
+		if !ok {
+			s = m.reg.Counter(mSchedSavedBytes, "bytes affinity placement served from residency instead of moving", nodeLabel(node))
+			m.schedSaved[node] = s
+		}
+		s.Add(savedBytes)
+	}
 }
 
 // NotePops adds to the pop total (leaf schedulers report their deque

@@ -1,0 +1,89 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAffinityAblationShape(t *testing.T) {
+	res, err := AffinityAblation(Options{Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 apps x 2 policies)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.MovedBytes <= 0 || row.Elapsed <= 0 || row.Tasks <= 0 || row.Picks <= 0 {
+			t.Fatalf("degenerate row: %+v", row)
+		}
+		if row.Affinity && row.SavedBytes <= 0 {
+			t.Fatalf("affinity row claims no saved bytes: %+v", row)
+		}
+		if !row.Affinity && row.SavedBytes != 0 {
+			t.Fatalf("stealing row claims saved bytes: %+v", row)
+		}
+	}
+}
+
+func TestAffinityAblationReducesMovedBytes(t *testing.T) {
+	// The headline claim: residency-aware placement moves measurably less
+	// data than locality-blind stealing on both apps, and is no slower.
+	res, err := AffinityAblation(Options{Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red := res.Reduction(GEMM.String()); red < 0.30 {
+		t.Fatalf("GEMM moved-bytes reduction %.3f, want >= 0.30", red)
+	}
+	if red := res.Reduction(SpMV.String()); red < 0.05 {
+		t.Fatalf("SpMV moved-bytes reduction %.3f, want >= 0.05", red)
+	}
+	elapsed := map[string]map[bool]float64{}
+	for _, row := range res.Rows {
+		if elapsed[row.App] == nil {
+			elapsed[row.App] = map[bool]float64{}
+		}
+		elapsed[row.App][row.Affinity] = row.Elapsed.Seconds()
+	}
+	for app, by := range elapsed {
+		if by[true] > by[false] {
+			t.Fatalf("%s: affinity slower than stealing (%.6f > %.6f virtual s)",
+				app, by[true], by[false])
+		}
+	}
+}
+
+func TestAffinityAblationDeterministic(t *testing.T) {
+	a, err := AffinityAblation(Options{Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AffinityAblation(Options{Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.JSON() != b.JSON() {
+		t.Fatal("affinity ablation not byte-identical across repeated runs")
+	}
+}
+
+func TestAffinityAblationRenderers(t *testing.T) {
+	res, err := AffinityAblation(Options{Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.String(); !strings.Contains(s, "dense-mm") || !strings.Contains(s, "%") {
+		t.Fatalf("table missing content:\n%s", s)
+	}
+	csv := res.CSV()
+	if lines := strings.Count(strings.TrimSpace(csv), "\n"); lines != 4 {
+		t.Fatalf("CSV has %d data lines, want 4:\n%s", lines, csv)
+	}
+	js := res.JSON()
+	for _, want := range []string{`"policy": "affinity"`, `"moved_bytes"`, `"reduction"`} {
+		if !strings.Contains(js, want) {
+			t.Fatalf("JSON missing %s:\n%s", want, js)
+		}
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/apps/gemm"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/taskgraph"
 	"repro/internal/topo"
 )
 
@@ -141,11 +143,39 @@ func PerfSuite(o Options) (*PerfProfile, error) {
 		return nil, fmt.Errorf("figures: perf suite: sim-engine: %w", err)
 	}
 	prof.Apps = append(prof.Apps, simPerf)
+	// Seventh entry: the affinity ablation's GEMM task graph under
+	// residency-aware placement, so a scheduler regression — a scorer that
+	// stops seeing resident extents, placements drifting back to the
+	// stealing order, moved bytes creeping up — fails the gate even while
+	// the numerical result stays correct.
+	if !o.NoAffinity {
+		reg = obs.NewRegistry()
+		rt := o.newAffinityRuntime(reg, o.affinityGemmCache())
+		affRes, affStats, err := gemm.RunTasks(rt, o.affinityGemmConfig(), taskgraph.Options{Affinity: true})
+		if err != nil {
+			return nil, fmt.Errorf("figures: perf suite: affinity: %w", err)
+		}
+		rt.SyncMetrics()
+		affMetrics := reg.Flatten()
+		affMetrics["northup_sched_tasks_executed"] = float64(affStats.Tasks)
+		affMetrics["northup_sched_affinity_picks"] = float64(affStats.AffinityPicks)
+		prof.Apps = append(prof.Apps, AppPerf{
+			Name:      "affinity",
+			ElapsedNS: int64(affRes.Stats.Elapsed),
+			Metrics:   affMetrics,
+		})
+	}
 	// Per-hop bandwidth is a last-value gauge: the final sub-chunk's size
 	// (and so its instantaneous rate) shifts with any resizing rework even
 	// when the pipeline is healthy, so it gets a wider band than the
-	// totals the gate is really guarding.
-	prof.Tolerances = map[string]float64{"northup_stream_hop_bw": 0.10}
+	// totals the gate is really guarding. Saved bytes is the affinity
+	// scorer's own residency estimate — it shifts with any cache-sizing or
+	// eviction rework while the moved-bytes totals it predicts stay tight,
+	// so it too gets the wider band.
+	prof.Tolerances = map[string]float64{
+		"northup_stream_hop_bw":                 0.10,
+		"northup_sched_moved_bytes_saved_total": 0.10,
+	}
 	prof.Floors = floors
 	return prof, nil
 }

@@ -17,24 +17,43 @@ func perfProfile(t *testing.T) *PerfProfile {
 }
 
 // TestPerfSuiteShape checks the profile covers the three apps plus the
-// streamed-shard, serve-mix and sim-engine entries with real virtual time
-// and a populated metric map.
+// streamed-shard, serve-mix, sim-engine and affinity entries with real
+// virtual time and a populated metric map.
 func TestPerfSuiteShape(t *testing.T) {
 	p := perfProfile(t)
-	if len(p.Apps) != len(Apps)+3 {
-		t.Fatalf("profile has %d apps, want %d", len(p.Apps), len(Apps)+3)
+	if len(p.Apps) != len(Apps)+4 {
+		t.Fatalf("profile has %d apps, want %d", len(p.Apps), len(Apps)+4)
 	}
-	stream := p.Apps[len(p.Apps)-3]
+	stream := p.Apps[len(p.Apps)-4]
 	if stream.Name != "stream-overlap" {
 		t.Fatalf("fourth profile entry %q, want stream-overlap", stream.Name)
 	}
-	srv := p.Apps[len(p.Apps)-2]
+	srv := p.Apps[len(p.Apps)-3]
 	if srv.Name != "serve-mix" {
 		t.Fatalf("fifth profile entry %q, want serve-mix", srv.Name)
 	}
-	eng := p.Apps[len(p.Apps)-1]
+	eng := p.Apps[len(p.Apps)-2]
 	if eng.Name != "sim-engine" {
-		t.Fatalf("last profile entry %q, want sim-engine", eng.Name)
+		t.Fatalf("sixth profile entry %q, want sim-engine", eng.Name)
+	}
+	aff := p.Apps[len(p.Apps)-1]
+	if aff.Name != "affinity" {
+		t.Fatalf("last profile entry %q, want affinity", aff.Name)
+	}
+	if aff.Metrics["northup_sched_affinity_picks"] <= 0 {
+		t.Fatal("affinity entry records no affinity placements")
+	}
+	saved := 0.0
+	for name, v := range aff.Metrics {
+		if strings.HasPrefix(name, "northup_sched_moved_bytes_saved_total") {
+			saved += v
+		}
+	}
+	if saved <= 0 {
+		t.Fatal("affinity entry claims no saved bytes")
+	}
+	if p.Tolerances["northup_sched_moved_bytes_saved_total"] == 0 {
+		t.Fatal("baseline lacks the saved-bytes tolerance override")
 	}
 	if eng.Metrics[`sim_engine_events{path="callback"}`] <= 0 {
 		t.Fatal("sim-engine entry carries no dispatch event counts")
@@ -59,8 +78,9 @@ func TestPerfSuiteShape(t *testing.T) {
 		if len(a.Metrics) == 0 {
 			t.Errorf("%s: empty metric map", a.Name)
 		}
-		if a.Name == "sim-engine" {
-			// The engine self-measurement runs no devices.
+		if a.Name == "sim-engine" || a.Name == "affinity" {
+			// The engine self-measurement runs no devices, and the affinity
+			// task graph places work on the leaf CPUs.
 			continue
 		}
 		if a.Metrics[`northup_busy_ns_total{cat="gpu"}`] <= 0 {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/sim"
@@ -82,6 +83,71 @@ func (s *ProfileScheduler) Predict(procName string, size float64) (sim.Time, boo
 		t = 0
 	}
 	return sim.Seconds(t), true
+}
+
+// ProfileEntry is the serialized form of one processor's fitted samples:
+// the raw least-squares sums, so an imported profile predicts exactly what
+// the exporting run would have predicted (no precision lost to re-fitting).
+type ProfileEntry struct {
+	N     int     `json:"n"`
+	SumX  float64 `json:"sum_x"`
+	SumY  float64 `json:"sum_y"`
+	SumXX float64 `json:"sum_xx"`
+	SumXY float64 `json:"sum_xy"`
+}
+
+// ProfileSnapshot is the portable form of a ProfileScheduler: what a
+// profiled run exports so a later run (an affinity scorer, a re-run of the
+// same app) can warm-start instead of re-learning from cold estimates.
+type ProfileSnapshot struct {
+	MinSamples int                     `json:"min_samples"`
+	Entries    map[string]ProfileEntry `json:"entries"`
+}
+
+// Export captures the scheduler's learned state as a snapshot.
+func (s *ProfileScheduler) Export() ProfileSnapshot {
+	snap := ProfileSnapshot{MinSamples: s.MinSamples, Entries: make(map[string]ProfileEntry, len(s.entries))}
+	for name, e := range s.entries {
+		snap.Entries[name] = ProfileEntry{N: e.n, SumX: e.sumX, SumY: e.sumY, SumXX: e.sumXX, SumXY: e.sumXY}
+	}
+	return snap
+}
+
+// ExportJSON renders the snapshot as JSON. encoding/json sorts map keys, so
+// the bytes are deterministic for a given learned state.
+func (s *ProfileScheduler) ExportJSON() ([]byte, error) {
+	return json.MarshalIndent(s.Export(), "", "  ")
+}
+
+// Import merges a snapshot's samples into the scheduler, adding them to any
+// already-recorded observations (sums are associative). A positive
+// MinSamples in the snapshot replaces the scheduler's own.
+func (s *ProfileScheduler) Import(snap ProfileSnapshot) {
+	if snap.MinSamples > 0 {
+		s.MinSamples = snap.MinSamples
+	}
+	for name, pe := range snap.Entries {
+		e := s.entries[name]
+		if e == nil {
+			e = &profileEntry{}
+			s.entries[name] = e
+		}
+		e.n += pe.N
+		e.sumX += pe.SumX
+		e.sumY += pe.SumY
+		e.sumXX += pe.SumXX
+		e.sumXY += pe.SumXY
+	}
+}
+
+// ImportJSON parses ExportJSON output and merges it (see Import).
+func (s *ProfileScheduler) ImportJSON(data []byte) error {
+	var snap ProfileSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("sched: importing profile: %w", err)
+	}
+	s.Import(snap)
+	return nil
 }
 
 // Pick chooses a processor for a task of the given size from the candidate

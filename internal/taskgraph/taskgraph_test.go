@@ -1,0 +1,275 @@
+package taskgraph
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// newStagedRuntime builds a 2-level SSD+DRAM tree with the staging cache on.
+func newStagedRuntime(cacheMiB int64) (*core.Runtime, *topo.Node) {
+	e := sim.NewEngine()
+	tree := topo.APU(e, topo.APUConfig{Storage: topo.SSD, StorageMiB: 64, DRAMMiB: 8, WithCPU: true})
+	opts := core.DefaultOptions()
+	opts.Phantom = true
+	if cacheMiB > 0 {
+		opts.Cache.Enabled = true
+		opts.Cache.CapacityBytes = cacheMiB << 20
+	}
+	rt := core.NewRuntime(e, tree, opts)
+	return rt, tree.Root().Children[0]
+}
+
+func extentTask(name string, reads, writes []Extent, order *[]string) *Task {
+	return &Task{
+		Name:   name,
+		Reads:  reads,
+		Writes: writes,
+		Cost:   1,
+		Run: func(c *core.Ctx) error {
+			*order = append(*order, name)
+			return nil
+		},
+	}
+}
+
+func TestDependencyInference(t *testing.T) {
+	rt, _ := newStagedRuntime(0)
+	var fa, fb *core.Buffer
+	_, err := rt.Run("setup", func(c *core.Ctx) error {
+		var err error
+		if fa, err = c.Alloc(4096); err != nil {
+			return err
+		}
+		fb, err = c.Alloc(4096)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := New()
+	var order []string
+	w := g.Add(extentTask("writer", nil, []Extent{{fa, 0, 1024}}, &order))
+	raw := g.Add(extentTask("raw", []Extent{{fa, 512, 512}}, nil, &order))
+	waw := g.Add(extentTask("waw", nil, []Extent{{fa, 0, 256}}, &order))
+	war := g.Add(extentTask("war", nil, []Extent{{fa, 768, 512}}, &order)) // WAR on raw's read
+	free := g.Add(extentTask("free", []Extent{{fb, 0, 1024}}, nil, &order))
+	rr := g.Add(extentTask("rr", []Extent{{fb, 0, 1024}}, nil, &order)) // read-read: no edge
+
+	if w.nblock != 0 || raw.nblock != 1 || waw.nblock != 1 {
+		t.Fatalf("RAW/WAW inference wrong: %d %d %d", w.nblock, raw.nblock, waw.nblock)
+	}
+	// war overlaps writer's write (WAW) and raw's read (WAR).
+	if war.nblock != 2 {
+		t.Fatalf("WAR inference wrong: nblock=%d", war.nblock)
+	}
+	if free.nblock != 0 || rr.nblock != 0 {
+		t.Fatalf("read-read sharing created edges: %d %d", free.nblock, rr.nblock)
+	}
+}
+
+func TestRunExecutesAllRespectingDeps(t *testing.T) {
+	for _, affinity := range []bool{false, true} {
+		rt, dram := newStagedRuntime(4)
+		var buf *core.Buffer
+		if _, err := rt.Run("setup", func(c *core.Ctx) error {
+			var err error
+			buf, err = c.Alloc(1 << 20)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		g := New()
+		var order []string
+		const chains = 4
+		for ch := 0; ch < chains; ch++ {
+			ext := []Extent{{buf, int64(ch) * 1024, 1024}}
+			for k := 0; k < 3; k++ {
+				g.Add(extentTask(fmt.Sprintf("c%d.%d", ch, k), ext, ext, &order))
+			}
+		}
+		_, err := rt.Run("run", func(c *core.Ctx) error {
+			st, err := g.Run(c, Options{Workers: 3, Affinity: affinity, Node: dram})
+			if err != nil {
+				return err
+			}
+			if st.Tasks != chains*3 {
+				return fmt.Errorf("st.Tasks=%d", st.Tasks)
+			}
+			if affinity && st.AffinityPicks != chains*3 {
+				return fmt.Errorf("AffinityPicks=%d", st.AffinityPicks)
+			}
+			if !affinity && st.Pops+st.Steals != chains*3 {
+				return fmt.Errorf("pops+steals=%d", st.Pops+st.Steals)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("affinity=%v: %v", affinity, err)
+		}
+		if len(order) != chains*3 {
+			t.Fatalf("affinity=%v: ran %d of %d tasks", affinity, len(order), chains*3)
+		}
+		// Within each chain the k-order must be preserved.
+		pos := map[string]int{}
+		for i, name := range order {
+			pos[name] = i
+		}
+		for ch := 0; ch < chains; ch++ {
+			for k := 1; k < 3; k++ {
+				a := pos[fmt.Sprintf("c%d.%d", ch, k-1)]
+				b := pos[fmt.Sprintf("c%d.%d", ch, k)]
+				if a >= b {
+					t.Fatalf("affinity=%v: chain %d ran out of order", affinity, ch)
+				}
+			}
+		}
+	}
+}
+
+func TestFirstErrorAborts(t *testing.T) {
+	for _, affinity := range []bool{false, true} {
+		rt, dram := newStagedRuntime(0)
+		boom := errors.New("boom")
+		g := New()
+		ran := 0
+		g.Add(&Task{Name: "bad", Cost: 1, Run: func(c *core.Ctx) error { return boom }})
+		for i := 0; i < 8; i++ {
+			i := i
+			var dep []Extent
+			g.Add(&Task{Name: fmt.Sprintf("t%d", i), Cost: 1, Reads: dep,
+				Run: func(c *core.Ctx) error { ran++; return nil }})
+		}
+		_, err := rt.Run("run", func(c *core.Ctx) error {
+			_, err := g.Run(c, Options{Workers: 2, Affinity: affinity, Node: dram})
+			return err
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("affinity=%v: err=%v", affinity, err)
+		}
+	}
+}
+
+// placements runs a fixed random graph and returns the execution order.
+func placements(t *testing.T, seed int64, affinity bool, prof *sched.ProfileScheduler) []string {
+	t.Helper()
+	rt, dram := newStagedRuntime(2)
+	var src *core.Buffer
+	if _, err := rt.Run("setup", func(c *core.Ctx) error {
+		var err error
+		src, err = c.Alloc(8 << 20)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g := New()
+	var order []string
+	// A deterministic pseudo-random extent layout derived from the seed.
+	state := uint64(seed)*2654435761 + 12345
+	next := func(mod int64) int64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int64(state>>33) % mod
+	}
+	for i := 0; i < 24; i++ {
+		name := fmt.Sprintf("t%02d", i)
+		off := next(7) * (1 << 20)
+		ln := int64(1<<20) + next(1<<19)
+		g.Add(&Task{
+			Name: name, Kind: "k", Cost: float64(ln),
+			Reads: []Extent{{src, off, ln}},
+			Run: func(c *core.Ctx) error {
+				order = append(order, name)
+				return c.Descend(dram, func(dc *core.Ctx) error {
+					_, err := dc.RunCPU(float64(ln), float64(ln), func() {})
+					return err
+				})
+			},
+		})
+	}
+	if _, err := rt.Run("run", func(c *core.Ctx) error {
+		_, err := g.Run(c, Options{Workers: 3, Affinity: affinity, Node: dram, Profile: prof})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return order
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	// The same graph must schedule identically across repeated runs, for
+	// both policies, with and without a warm-started profile.
+	f := func(seed int64) bool {
+		for _, affinity := range []bool{false, true} {
+			a := placements(t, seed, affinity, sched.NewProfileScheduler())
+			b := placements(t, seed, affinity, sched.NewProfileScheduler())
+			if !reflect.DeepEqual(a, b) {
+				t.Logf("seed=%d affinity=%v: %v != %v", seed, affinity, a, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileFeedsBack(t *testing.T) {
+	prof := sched.NewProfileScheduler()
+	placements(t, 1, true, prof)
+	if prof.Samples("k") == 0 {
+		t.Fatal("profile recorded no samples")
+	}
+	// Export/import round-trips the learned state for warm starts.
+	data, err := prof.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := sched.NewProfileScheduler()
+	if err := warm.ImportJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Samples("k") != prof.Samples("k") {
+		t.Fatalf("round-trip lost samples: %d != %d", warm.Samples("k"), prof.Samples("k"))
+	}
+	p1, ok1 := prof.Predict("k", 1<<20)
+	p2, ok2 := warm.Predict("k", 1<<20)
+	if !ok1 || !ok2 || p1 != p2 {
+		t.Fatalf("round-trip changed prediction: %v/%v %v/%v", p1, ok1, p2, ok2)
+	}
+}
+
+func TestOverlapBytes(t *testing.T) {
+	rt, _ := newStagedRuntime(0)
+	var b *core.Buffer
+	if _, err := rt.Run("setup", func(c *core.Ctx) error {
+		var err error
+		b, err = c.Alloc(4096)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, o Extent
+		want int64
+	}{
+		{Extent{b, 0, 100}, Extent{b, 50, 100}, 50},
+		{Extent{b, 0, 100}, Extent{b, 100, 100}, 0},
+		{Extent{b, 0, 100}, Extent{b, 0, 100}, 100},
+		{Extent{b, 10, 10}, Extent{b, 0, 100}, 10},
+		{Extent{nil, 0, 100}, Extent{b, 0, 100}, 0},
+	}
+	for i, tc := range cases {
+		if got := overlapBytes(tc.a, tc.o); got != tc.want {
+			t.Fatalf("case %d: got %d want %d", i, got, tc.want)
+		}
+	}
+}

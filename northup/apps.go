@@ -5,6 +5,8 @@ import (
 	"repro/internal/apps/hotspot"
 	"repro/internal/apps/oocsort"
 	"repro/internal/apps/spmv"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
 	"repro/internal/workload"
 )
 
@@ -106,6 +108,43 @@ var (
 	SpMVInMemory = spmv.RunInMemory
 	// SpMVReference is the host oracle: y = A x.
 	SpMVReference = spmv.Reference
+)
+
+// Extent-declared task graphs and the data-affinity scheduler: tasks
+// declare the buffer ranges they read and write plus a cost estimate, the
+// graph derives dependencies from extent overlap, and placement is either
+// locality-blind work stealing or residency-aware affinity scoring
+// (estimated compute + estimated bytes to move, cache-resident bytes
+// scoring zero).
+type (
+	// TaskExtent is a half-open byte range of a staged buffer.
+	TaskExtent = taskgraph.Extent
+	// Task is one unit of work with declared extents and cost.
+	Task = taskgraph.Task
+	// TaskGraph holds tasks plus the dependencies implied by their extents.
+	TaskGraph = taskgraph.Graph
+	// TaskOptions selects workers and the placement policy.
+	TaskOptions = taskgraph.Options
+	// TaskStats reports pops, steals, affinity picks and saved bytes.
+	TaskStats = taskgraph.Stats
+	// ProfileScheduler is the §III-E profile-guided mapper; its learned
+	// state round-trips through ExportJSON/ImportJSON to warm-start runs.
+	ProfileScheduler = sched.ProfileScheduler
+)
+
+// Task-graph entry points.
+var (
+	// NewTaskGraph returns an empty graph; Add tasks in program order.
+	NewTaskGraph = taskgraph.New
+	// GEMMTasks runs dense matrix multiply as a shard task graph.
+	GEMMTasks = gemm.RunTasks
+	// SpMVTasks runs the sparse power iteration as a chunk task graph.
+	SpMVTasks = spmv.RunTasks
+	// NewProfileScheduler returns a cold profile-guided mapper.
+	NewProfileScheduler = sched.NewProfileScheduler
+	// HotSpotProfiledWarm is HotSpotProfiled seeded with an imported
+	// profile, skipping the exploration phase.
+	HotSpotProfiledWarm = hotspot.RunProfiledWarm
 )
 
 // Out-of-core sorting: a fourth application demonstrating the combine
